@@ -1,0 +1,22 @@
+//! Functional-emulation throughput (instructions per second).
+
+use ci_emu::run_trace;
+use ci_workloads::{Workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    for w in [Workload::GoLike, Workload::CompressLike] {
+        let p = w.build(&WorkloadParams { scale: w.scale_for(20_000), seed: 1 });
+        let n = run_trace(&p, 30_000).unwrap().len() as u64;
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(w.name(), |b| {
+            b.iter(|| black_box(run_trace(&p, 30_000).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

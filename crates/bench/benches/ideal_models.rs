@@ -1,0 +1,28 @@
+//! Idealized-model simulation throughput (retired instructions per second).
+
+use ci_ideal::{simulate, IdealConfig, ModelKind, StudyInput};
+use ci_workloads::{Workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_ideal(c: &mut Criterion) {
+    let w = Workload::GoLike;
+    let p = w.build(&WorkloadParams { scale: w.scale_for(20_000), seed: 1 });
+    let input = StudyInput::build(&p, 20_000).unwrap();
+    let mut g = c.benchmark_group("ideal");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    for model in [ModelKind::Oracle, ModelKind::WrFd, ModelKind::Base] {
+        g.bench_function(model.name(), |b| {
+            b.iter(|| {
+                black_box(simulate(
+                    &input,
+                    &IdealConfig { model, window: 256, ..IdealConfig::default() },
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ideal);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Detailed-pipeline simulation throughput (retired instructions per
+//! second), BASE vs CI — the cost of the control-independence machinery
+//! itself.
+
+use ci_core::{simulate, PipelineConfig};
+use ci_workloads::{Workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let w = Workload::GoLike;
+    let p = w.build(&WorkloadParams { scale: w.scale_for(10_000), seed: 1 });
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    for (name, cfg) in [
+        ("base_w256", PipelineConfig::base(256)),
+        ("ci_w256", PipelineConfig::ci(256)),
+        ("ci_w512", PipelineConfig::ci(512)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(&p, cfg, 10_000).unwrap().cycles));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

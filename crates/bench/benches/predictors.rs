@@ -1,0 +1,53 @@
+//! Throughput of the branch-prediction substrate.
+
+use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack};
+use ci_isa::Pc;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(1024));
+
+    g.bench_function("gshare_predict_update", |b| {
+        let mut gs = Gshare::paper_default();
+        let mut h = GlobalHistory::new();
+        b.iter(|| {
+            for i in 0..1024u32 {
+                let pc = Pc(i & 0xff);
+                let p = gs.predict(pc, h);
+                gs.update(pc, h, i % 3 == 0);
+                h.push(p);
+            }
+            black_box(h)
+        });
+    });
+
+    g.bench_function("ctb_predict_update", |b| {
+        let mut ctb = CorrelatedTargetBuffer::paper_default();
+        let h = GlobalHistory::new();
+        b.iter(|| {
+            for i in 0..1024u32 {
+                let pc = Pc(i & 0xff);
+                black_box(ctb.predict(pc, h));
+                ctb.update(pc, h, Pc(i));
+            }
+        });
+    });
+
+    g.bench_function("ras_push_pop", |b| {
+        let mut ras = ReturnAddressStack::bounded(64);
+        b.iter(|| {
+            for i in 0..1024u32 {
+                ras.push(Pc(i));
+                if i % 2 == 0 {
+                    black_box(ras.pop());
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

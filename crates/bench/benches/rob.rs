@@ -1,0 +1,41 @@
+//! Reorder-buffer structure operations: append/remove and mid-window
+//! insertion with key renumbering.
+
+use ci_core::rob::{Rob, SegCursor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_rob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rob");
+    g.throughput(Throughput::Elements(512));
+
+    g.bench_function("push_retire_512", |b| {
+        b.iter(|| {
+            let mut rob: Rob<u64> = Rob::new(1);
+            for i in 0..512u64 {
+                rob.push_back(i);
+            }
+            while let Some(h) = rob.head() {
+                black_box(rob.remove(h));
+            }
+        });
+    });
+
+    g.bench_function("middle_insert_512", |b| {
+        b.iter(|| {
+            let mut rob: Rob<u64> = Rob::new(1);
+            let a = rob.push_back(0);
+            rob.push_back(1);
+            let mut cur = SegCursor::default();
+            let mut at = a;
+            for i in 0..512u64 {
+                at = rob.insert_after(at, i, &mut cur);
+            }
+            black_box(rob.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rob);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates every table and figure in one run (the full evaluation).
+
+use control_independence::experiments as ex;
+
+fn main() {
+    let scale = ex::Scale::from_env();
+    println!("# Control-independence reproduction — full evaluation");
+    println!("# instructions per workload: {}, seed: {:#x}\n", scale.instructions, scale.seed);
+    println!("{}", ex::table1(&scale));
+    println!("{}", ex::figure3(&scale, &[32, 64, 128, 256, 512]));
+    let (ipc, imp) = ex::figure5_6(&scale, &[128, 256, 512]);
+    println!("{ipc}");
+    println!("{imp}");
+    println!("{}", ex::table2(&scale));
+    println!("{}", ex::table3(&scale));
+    println!("{}", ex::table4(&scale));
+    println!("{}", ex::figure8(&scale));
+    println!("{}", ex::figure9(&scale));
+    println!("{}", ex::figure10(&scale));
+    println!("{}", ex::figure12(&scale));
+    println!("{}", ex::figure13(&scale));
+    println!("{}", ex::figure14(&scale));
+    println!("{}", ex::figure17(&scale));
+}

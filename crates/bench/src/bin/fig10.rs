@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig10. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure10, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure10(&scale));
+}

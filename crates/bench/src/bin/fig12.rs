@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig12. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure12, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure12(&scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig13. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure13, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure13(&scale));
+}

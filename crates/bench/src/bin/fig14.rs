@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig14. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure14, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure14(&scale));
+}

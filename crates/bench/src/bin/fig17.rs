@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig17. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure17, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure17(&scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: the six idealized models vs window size.
+
+use control_independence::experiments::{figure3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure3(&scale, &[32, 64, 128, 256, 512]));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 5 and 6: BASE vs CI vs CI-I and % improvement.
+
+use control_independence::experiments::{figure5_6, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (ipc, imp) = figure5_6(&scale, &[128, 256, 512]);
+    println!("{ipc}");
+    println!("{imp}");
+}

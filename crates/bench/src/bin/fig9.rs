@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig9. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{figure9, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", figure9(&scale));
+}

@@ -1,0 +1,83 @@
+//! Inspect a workload: disassembly, basic blocks, immediate post-dominators,
+//! the per-branch reconvergence map, and a quick BASE-vs-CI run.
+//!
+//! ```sh
+//! cargo run --release -p ci-bench --bin inspect -- go
+//! cargo run --release -p ci-bench --bin inspect -- compress 50000
+//! ```
+
+use control_independence::prelude::*;
+use control_independence::ci_cfg::{Cfg, PostDominators, ReconvergenceMap};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "go".to_owned());
+    let instructions: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == name) else {
+        eprintln!(
+            "unknown workload `{name}`; choose one of: {}",
+            Workload::ALL.map(|w| w.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let program = workload.build(&WorkloadParams {
+        scale: workload.scale_for(instructions),
+        seed: 0x5EED,
+    });
+
+    println!("== {workload}: {} static instructions ==\n", program.len());
+    println!("{program}");
+
+    let cfg = Cfg::build(&program);
+    let pd = PostDominators::compute(&cfg);
+    println!("== {} basic blocks ==", cfg.len());
+    for (i, b) in cfg.blocks().iter().enumerate() {
+        let id = control_independence::ci_cfg::BlockId(i as u32);
+        let succs: Vec<String> = cfg
+            .succs(id)
+            .iter()
+            .map(|s| {
+                if *s == cfg.exit() {
+                    "exit".to_owned()
+                } else {
+                    format!("b{}", s.0)
+                }
+            })
+            .collect();
+        let ipdom = match pd.ipdom(id) {
+            Some(p) if p == cfg.exit() => "exit".to_owned(),
+            Some(p) => format!("b{}", p.0),
+            None => "-".to_owned(),
+        };
+        println!(
+            "  b{i}: [{}..{}] -> {{{}}}  ipdom={ipdom}",
+            b.start,
+            b.end,
+            succs.join(", ")
+        );
+    }
+
+    let recon = ReconvergenceMap::compute(&program);
+    let mut points: Vec<(Pc, Pc)> = recon.iter().collect();
+    points.sort();
+    println!("\n== reconvergence map ({} branches) ==", points.len());
+    for (b, r) in points {
+        println!("  branch {b} -> reconverges at {r}");
+    }
+
+    println!("\n== {instructions}-instruction run ==");
+    for (label, cfg) in [("BASE", PipelineConfig::base(256)), ("CI", PipelineConfig::ci(256))] {
+        let s = simulate(&program, cfg, instructions).expect("workload runs");
+        println!(
+            "  {label:<4} {:.2} IPC, {} cycles, {} recoveries ({:.0}% reconverged), \
+             {:.2} issues/retired",
+            s.ipc(),
+            s.cycles,
+            s.recoveries,
+            100.0 * s.reconvergence_rate(),
+            s.issues_per_retired(),
+        );
+    }
+}

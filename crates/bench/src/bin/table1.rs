@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{table1, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", table1(&scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{table2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", table2(&scale));
+}

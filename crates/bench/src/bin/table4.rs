@@ -1,0 +1,8 @@
+//! Regenerates the paper's table4. Scale with `CI_REPRO_INSTRUCTIONS`.
+
+use control_independence::experiments::{table4, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", table4(&scale));
+}

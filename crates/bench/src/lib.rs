@@ -1,0 +1,6 @@
+//! Experiment regeneration binaries and Criterion benchmarks.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index); the Criterion benches under `benches/`
+//! track the *simulator's own* performance. Scale the experiments with
+//! `CI_REPRO_INSTRUCTIONS=<n>`.

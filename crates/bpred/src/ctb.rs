@@ -1,0 +1,94 @@
+//! Correlated target buffer for indirect jumps.
+
+use crate::GlobalHistory;
+use ci_isa::Pc;
+
+/// A correlated target buffer: a tag-less table of predicted targets for
+/// indirect jumps and calls, indexed by `pc XOR global-history` (after Chang,
+/// Hao & Patt). The paper uses a 2^16-entry instance.
+///
+/// ```
+/// use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory};
+/// use ci_isa::Pc;
+///
+/// let mut ctb = CorrelatedTargetBuffer::new(10);
+/// let h = GlobalHistory::new();
+/// assert_eq!(ctb.predict(Pc(3), h), None);
+/// ctb.update(Pc(3), h, Pc(77));
+/// assert_eq!(ctb.predict(Pc(3), h), Some(Pc(77)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CorrelatedTargetBuffer {
+    targets: Vec<Option<Pc>>,
+    index_bits: u32,
+}
+
+impl CorrelatedTargetBuffer {
+    /// Create a buffer with `2^index_bits` entries.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 28.
+    #[must_use]
+    pub fn new(index_bits: u32) -> CorrelatedTargetBuffer {
+        assert!((1..=28).contains(&index_bits), "index_bits out of range");
+        CorrelatedTargetBuffer {
+            targets: vec![None; 1 << index_bits],
+            index_bits,
+        }
+    }
+
+    /// The paper's configuration: 2^16 entries.
+    #[must_use]
+    pub fn paper_default() -> CorrelatedTargetBuffer {
+        CorrelatedTargetBuffer::new(16)
+    }
+
+    fn index(&self, pc: Pc, hist: GlobalHistory) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        ((u64::from(pc.0) ^ hist.bits(self.index_bits)) & mask) as usize
+    }
+
+    /// Predicted target for the indirect jump at `pc`, if the entry has ever
+    /// been trained.
+    #[must_use]
+    pub fn predict(&self, pc: Pc, hist: GlobalHistory) -> Option<Pc> {
+        self.targets[self.index(pc, hist)]
+    }
+
+    /// Record the actual `target` of the indirect jump at `pc`.
+    pub fn update(&mut self, pc: Pc, hist: GlobalHistory, target: Pc) {
+        let i = self.index(pc, hist);
+        self.targets[i] = Some(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_correlates_targets() {
+        let mut ctb = CorrelatedTargetBuffer::new(8);
+        let h0 = GlobalHistory::from(0b01u64);
+        let h1 = GlobalHistory::from(0b10u64);
+        ctb.update(Pc(9), h0, Pc(100));
+        ctb.update(Pc(9), h1, Pc(200));
+        assert_eq!(ctb.predict(Pc(9), h0), Some(Pc(100)));
+        assert_eq!(ctb.predict(Pc(9), h1), Some(Pc(200)));
+    }
+
+    #[test]
+    fn aliasing_overwrites() {
+        let mut ctb = CorrelatedTargetBuffer::new(4);
+        let h = GlobalHistory::new();
+        ctb.update(Pc(1), h, Pc(10));
+        ctb.update(Pc(1 + 16), h, Pc(20)); // same index (16-entry table)
+        assert_eq!(ctb.predict(Pc(1), h), Some(Pc(20)));
+    }
+
+    #[test]
+    fn paper_default_size() {
+        let ctb = CorrelatedTargetBuffer::paper_default();
+        assert_eq!(ctb.targets.len(), 1 << 16);
+    }
+}

@@ -1,0 +1,208 @@
+//! The gshare conditional-branch predictor and global branch history.
+
+use ci_isa::Pc;
+
+/// A global branch-history register.
+///
+/// Histories are value types deliberately separated from the predictor: the
+/// pipeline simulator keeps a *speculative* history at the fetch unit, stores
+/// the pre-prediction history with every in-flight branch, repairs it on
+/// mispredictions and replays it during re-predict sequences — all of which
+/// need history to be cheap to copy and explicit to pass around.
+///
+/// ```
+/// use ci_bpred::GlobalHistory;
+/// let mut h = GlobalHistory::new();
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bits(2), 0b10);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct GlobalHistory(u64);
+
+impl GlobalHistory {
+    /// An empty (all not-taken) history.
+    #[must_use]
+    pub fn new() -> GlobalHistory {
+        GlobalHistory(0)
+    }
+
+    /// Shift in one branch outcome (`true` = taken) as the newest bit.
+    pub fn push(&mut self, taken: bool) {
+        self.0 = (self.0 << 1) | u64::from(taken);
+    }
+
+    /// A copy of this history with one more outcome pushed.
+    #[must_use]
+    pub fn pushed(mut self, taken: bool) -> GlobalHistory {
+        self.push(taken);
+        self
+    }
+
+    /// The newest `n` bits of history (`n <= 64`).
+    #[must_use]
+    pub fn bits(self, n: u32) -> u64 {
+        if n == 0 {
+            0
+        } else if n >= 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << n) - 1)
+        }
+    }
+
+    /// The raw 64-bit history register.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for GlobalHistory {
+    fn from(v: u64) -> Self {
+        GlobalHistory(v)
+    }
+}
+
+/// A gshare two-level adaptive predictor: a table of 2-bit saturating
+/// counters indexed by `pc XOR global-history`.
+///
+/// The paper uses a 2^16-entry table ([`Gshare::paper_default`]).
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    index_bits: u32,
+}
+
+impl Gshare {
+    /// Create a gshare predictor with `2^index_bits` counters, initialized to
+    /// weakly not-taken.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 28.
+    #[must_use]
+    pub fn new(index_bits: u32) -> Gshare {
+        assert!((1..=28).contains(&index_bits), "index_bits out of range");
+        Gshare {
+            counters: vec![1; 1 << index_bits],
+            index_bits,
+        }
+    }
+
+    /// The paper's configuration: 2^16 entries.
+    #[must_use]
+    pub fn paper_default() -> Gshare {
+        Gshare::new(16)
+    }
+
+    fn index(&self, pc: Pc, hist: GlobalHistory) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        ((u64::from(pc.0) ^ hist.bits(self.index_bits)) & mask) as usize
+    }
+
+    /// Predict the direction of the branch at `pc` under history `hist`.
+    #[must_use]
+    pub fn predict(&self, pc: Pc, hist: GlobalHistory) -> bool {
+        self.counters[self.index(pc, hist)] >= 2
+    }
+
+    /// Train the counter for (`pc`, `hist`) toward the actual outcome.
+    pub fn update(&mut self, pc: Pc, hist: GlobalHistory, taken: bool) {
+        let i = self.index(pc, hist);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Number of table entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed predictor).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_shifting() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(true);
+        h.push(false);
+        assert_eq!(h.bits(3), 0b110);
+        assert_eq!(h.bits(2), 0b10);
+        assert_eq!(h.bits(0), 0);
+        assert_eq!(h.pushed(true).bits(4), 0b1101);
+        assert_eq!(GlobalHistory::from(5u64).raw(), 5);
+        assert_eq!(GlobalHistory::from(u64::MAX).bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn learns_direction() {
+        let mut g = Gshare::new(10);
+        let h = GlobalHistory::new();
+        assert!(!g.predict(Pc(4), h)); // initialized weakly not-taken
+        g.update(Pc(4), h, true);
+        g.update(Pc(4), h, true);
+        assert!(g.predict(Pc(4), h));
+        g.update(Pc(4), h, false);
+        g.update(Pc(4), h, false);
+        g.update(Pc(4), h, false);
+        assert!(!g.predict(Pc(4), h));
+    }
+
+    #[test]
+    fn history_disambiguates_correlated_branch() {
+        // Same PC, alternating pattern: with history the predictor can learn
+        // both contexts; counters saturate in opposite directions.
+        let mut g = Gshare::new(10);
+        let mut h = GlobalHistory::new();
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            if i >= 100 {
+                total += 1;
+                correct += i32::from(g.predict(Pc(8), h) == taken);
+            }
+            g.update(Pc(8), h, taken);
+            h.push(taken);
+        }
+        assert_eq!(correct, total, "alternating pattern should be fully learned");
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut g = Gshare::new(4);
+        let h = GlobalHistory::new();
+        for _ in 0..10 {
+            g.update(Pc(0), h, true);
+        }
+        // One not-taken outcome must not flip a saturated counter.
+        g.update(Pc(0), h, false);
+        assert!(g.predict(Pc(0), h));
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn rejects_zero_bits() {
+        let _ = Gshare::new(0);
+    }
+
+    #[test]
+    fn paper_default_size() {
+        assert_eq!(Gshare::paper_default().len(), 1 << 16);
+        assert!(!Gshare::paper_default().is_empty());
+    }
+}

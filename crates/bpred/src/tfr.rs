@@ -1,0 +1,248 @@
+//! True/false-misprediction history (TFR) tracking — the machinery behind the
+//! paper's Figure 10.
+//!
+//! A *false misprediction* occurs when a correctly predicted branch executes
+//! with speculative, incorrect operands and therefore appears mispredicted.
+//! The paper proposes monitoring, per static branch or per dynamic TFR
+//! pattern, how many of a branch's apparent mispredictions are true vs false,
+//! and delaying completion of branches likely to produce false mispredictions.
+
+use crate::GlobalHistory;
+use ci_isa::Pc;
+use std::collections::HashMap;
+
+/// How TFR statistics are keyed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TfrIndexing {
+    /// Per static branch (the paper's `static` profiling scheme).
+    StaticPc,
+    /// Per current TFR pattern, table indexed by PC (`dynamic(pc)`).
+    DynamicPc,
+    /// Per current TFR pattern, table indexed by PC XOR global history
+    /// (`dynamic(xor)`, gshare-like).
+    DynamicXor,
+}
+
+/// A table of 16-bit true/false-misprediction shift registers.
+///
+/// Each entry records the recent misprediction character of the branches that
+/// map to it: a `1` bit is shifted in for a false misprediction, a `0` for a
+/// true one. Updated only on (apparent) mispredictions — this is the paper's
+/// TFR, the misprediction-only analogue of the CIR.
+#[derive(Clone, Debug)]
+pub struct TfrTable {
+    regs: Vec<u16>,
+    index_bits: u32,
+}
+
+impl TfrTable {
+    /// Create a table with `2^index_bits` shift registers.
+    ///
+    /// # Panics
+    /// Panics if `index_bits` is 0 or greater than 28.
+    #[must_use]
+    pub fn new(index_bits: u32) -> TfrTable {
+        assert!((1..=28).contains(&index_bits), "index_bits out of range");
+        TfrTable { regs: vec![0; 1 << index_bits], index_bits }
+    }
+
+    /// The paper's configuration: 2^16 registers.
+    #[must_use]
+    pub fn paper_default() -> TfrTable {
+        TfrTable::new(16)
+    }
+
+    fn index(&self, pc: Pc, hist: GlobalHistory, indexing: TfrIndexing) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        let key = match indexing {
+            TfrIndexing::StaticPc | TfrIndexing::DynamicPc => u64::from(pc.0),
+            TfrIndexing::DynamicXor => u64::from(pc.0) ^ hist.bits(self.index_bits),
+        };
+        (key & mask) as usize
+    }
+
+    /// The current TFR pattern a branch at `pc` maps to.
+    #[must_use]
+    pub fn pattern(&self, pc: Pc, hist: GlobalHistory, indexing: TfrIndexing) -> u16 {
+        self.regs[self.index(pc, hist, indexing)]
+    }
+
+    /// Record an apparent misprediction: `false_mispred` is whether it was a
+    /// false one.
+    pub fn record(&mut self, pc: Pc, hist: GlobalHistory, indexing: TfrIndexing, false_mispred: bool) {
+        let i = self.index(pc, hist, indexing);
+        self.regs[i] = (self.regs[i] << 1) | u16::from(false_mispred);
+    }
+}
+
+/// One point on a cumulative true/false-misprediction coverage curve
+/// (Figure 10): by delaying all branches in the keys covered so far,
+/// `cum_false` of all false mispredictions would be prevented at the cost of
+/// delaying `cum_true` of all true mispredictions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CoveragePoint {
+    /// Cumulative fraction of true mispredictions delayed, in `[0, 1]`.
+    pub cum_true: f64,
+    /// Cumulative fraction of false mispredictions prevented, in `[0, 1]`.
+    pub cum_false: f64,
+}
+
+/// Offline collector of per-key true/false misprediction counts.
+///
+/// Keys are opaque: use the static branch PC for the `static` scheme or a TFR
+/// pattern (from [`TfrTable::pattern`]) for the dynamic schemes.
+///
+/// ```
+/// use ci_bpred::TfrStats;
+///
+/// let mut s = TfrStats::new();
+/// s.record(1, false); // branch 1: one true misprediction
+/// s.record(2, true);  // branch 2: one false misprediction
+/// let curve = s.coverage_curve();
+/// // Covering branch 2 first prevents all false mispredictions while
+/// // delaying no true ones.
+/// assert_eq!(curve[0].cum_false, 1.0);
+/// assert_eq!(curve[0].cum_true, 0.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TfrStats {
+    counts: HashMap<u64, (u64, u64)>, // key -> (true, false)
+}
+
+impl TfrStats {
+    /// Create an empty collector.
+    #[must_use]
+    pub fn new() -> TfrStats {
+        TfrStats::default()
+    }
+
+    /// Record one apparent misprediction for `key`.
+    pub fn record(&mut self, key: u64, false_mispred: bool) {
+        let e = self.counts.entry(key).or_insert((0, 0));
+        if false_mispred {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+
+    /// Total (true, false) mispredictions recorded.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64) {
+        self.counts
+            .values()
+            .fold((0, 0), |(t, f), (kt, kf)| (t + kt, f + kf))
+    }
+
+    /// The cumulative coverage curve: keys sorted from highest to lowest
+    /// false-misprediction rate, with one point per key prefix.
+    ///
+    /// Empty if nothing was recorded.
+    #[must_use]
+    pub fn coverage_curve(&self) -> Vec<CoveragePoint> {
+        let (total_t, total_f) = self.totals();
+        if total_t + total_f == 0 {
+            return Vec::new();
+        }
+        let mut keys: Vec<(&u64, &(u64, u64))> = self.counts.iter().collect();
+        keys.sort_by(|(ka, (ta, fa)), (kb, (tb, fb))| {
+            // false rate descending; ties broken by key for determinism
+            let ra = *fa as f64 / (*ta + *fa) as f64;
+            let rb = *fb as f64 / (*tb + *fb) as f64;
+            rb.partial_cmp(&ra).unwrap().then(ka.cmp(kb))
+        });
+        let mut out = Vec::with_capacity(keys.len());
+        let (mut ct, mut cf) = (0u64, 0u64);
+        for (_, (t, f)) in keys {
+            ct += t;
+            cf += f;
+            out.push(CoveragePoint {
+                cum_true: if total_t == 0 { 0.0 } else { ct as f64 / total_t as f64 },
+                cum_false: if total_f == 0 { 0.0 } else { cf as f64 / total_f as f64 },
+            });
+        }
+        out
+    }
+
+    /// The largest fraction of false mispredictions detectable while delaying
+    /// at most `true_budget` (fraction) of true mispredictions.
+    #[must_use]
+    pub fn false_coverage_at(&self, true_budget: f64) -> f64 {
+        self.coverage_curve()
+            .iter()
+            .filter(|p| p.cum_true <= true_budget + 1e-12)
+            .map(|p| p.cum_false)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_patterns_shift() {
+        let mut t = TfrTable::new(8);
+        let h = GlobalHistory::new();
+        t.record(Pc(3), h, TfrIndexing::DynamicPc, true);
+        t.record(Pc(3), h, TfrIndexing::DynamicPc, false);
+        t.record(Pc(3), h, TfrIndexing::DynamicPc, true);
+        assert_eq!(t.pattern(Pc(3), h, TfrIndexing::DynamicPc), 0b101);
+    }
+
+    #[test]
+    fn xor_indexing_separates_contexts() {
+        let mut t = TfrTable::new(8);
+        let h0 = GlobalHistory::from(0u64);
+        let h1 = GlobalHistory::from(1u64);
+        t.record(Pc(2), h0, TfrIndexing::DynamicXor, true);
+        assert_eq!(t.pattern(Pc(2), h0, TfrIndexing::DynamicXor), 1);
+        assert_eq!(t.pattern(Pc(2), h1, TfrIndexing::DynamicXor), 0);
+    }
+
+    #[test]
+    fn curve_orders_by_false_rate() {
+        let mut s = TfrStats::new();
+        // key 1: pure true; key 2: pure false; key 3: mixed.
+        for _ in 0..10 {
+            s.record(1, false);
+        }
+        for _ in 0..10 {
+            s.record(2, true);
+        }
+        s.record(3, true);
+        s.record(3, false);
+        let curve = s.coverage_curve();
+        assert_eq!(curve.len(), 3);
+        // First point covers key 2 (rate 1.0).
+        assert!((curve[0].cum_false - 10.0 / 11.0).abs() < 1e-9);
+        assert_eq!(curve[0].cum_true, 0.0);
+        // Last point covers everything.
+        assert!((curve[2].cum_true - 1.0).abs() < 1e-9);
+        assert!((curve[2].cum_false - 1.0).abs() < 1e-9);
+        assert_eq!(s.totals(), (11, 11));
+    }
+
+    #[test]
+    fn budgeted_coverage() {
+        let mut s = TfrStats::new();
+        for _ in 0..9 {
+            s.record(1, false);
+        }
+        s.record(1, true);
+        for _ in 0..9 {
+            s.record(2, true);
+        }
+        s.record(2, false);
+        // Covering key 2 alone: 90% of false, 10% of true.
+        assert!((s.false_coverage_at(0.2) - 0.9).abs() < 1e-9);
+        assert!((s.false_coverage_at(1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(s.false_coverage_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_curve() {
+        assert!(TfrStats::new().coverage_curve().is_empty());
+        assert_eq!(TfrStats::new().totals(), (0, 0));
+    }
+}

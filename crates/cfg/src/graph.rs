@@ -1,0 +1,345 @@
+//! Basic blocks and the control-flow graph.
+
+use ci_isa::{InstClass, Pc, Program};
+use std::collections::BTreeSet;
+
+/// Identifier of a basic block within a [`Cfg`].
+///
+/// The virtual exit block has the highest id ([`Cfg::exit`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: a maximal straight-line instruction range
+/// `[start, end]` (inclusive), terminated by a control instruction or by the
+/// start of another block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction of the block.
+    pub start: Pc,
+    /// Last instruction of the block (inclusive).
+    pub end: Pc,
+    /// Successor blocks (intraprocedural edges).
+    pub succs: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end.0 - self.start.0 + 1) as usize
+    }
+
+    /// Whether the block is empty (never true for constructed blocks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// An intraprocedural control-flow graph over a program's basic blocks, plus
+/// one virtual exit block.
+///
+/// Edge conventions (chosen so that post-dominance matches the paper's
+/// per-branch reconvergence semantics):
+///
+/// - conditional branch → taken target and fall-through;
+/// - direct jump → target;
+/// - call (direct or indirect) → fall-through (the return site);
+/// - return, halt → virtual exit;
+/// - hinted indirect jump → its hinted targets;
+/// - unhinted indirect jump → virtual exit (conservative);
+/// - fall off the end of the program → virtual exit.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<BlockId>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program`.
+    #[must_use]
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        let mut leaders: BTreeSet<Pc> = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(Pc(0));
+            leaders.insert(program.entry());
+        }
+        for (i, inst) in program.insts().iter().enumerate() {
+            let pc = Pc(i as u32);
+            let class = inst.class();
+            if class.is_control() || class == InstClass::Halt {
+                if (i + 1) < n {
+                    leaders.insert(pc.next());
+                }
+                if let Some(t) = inst.static_target() {
+                    if t.index() < n {
+                        leaders.insert(t);
+                    }
+                }
+                for &t in program.indirect_targets(pc) {
+                    if t.index() < n {
+                        leaders.insert(t);
+                    }
+                }
+            }
+        }
+
+        // Carve blocks.
+        let leaders: Vec<Pc> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(leaders.len());
+        let mut block_of = vec![BlockId(0); n];
+        for (bi, &start) in leaders.iter().enumerate() {
+            let next_leader = leaders.get(bi + 1).map_or(n, |p| p.index());
+            // The block ends at the first control/halt instruction, or just
+            // before the next leader.
+            let mut end = next_leader - 1;
+            for i in start.index()..next_leader {
+                let class = program.insts()[i].class();
+                if class.is_control() || class == InstClass::Halt {
+                    end = i;
+                    break;
+                }
+            }
+            debug_assert_eq!(end, next_leader - 1, "control insts always start a new block after");
+            let id = BlockId(bi as u32);
+            for slot in &mut block_of[start.index()..=end] {
+                *slot = id;
+            }
+            blocks.push(BasicBlock { start, end: Pc(end as u32), succs: Vec::new() });
+        }
+
+        let exit = BlockId(blocks.len() as u32);
+        let block_at = |pc: Pc| -> BlockId {
+            if pc.index() < n {
+                block_of[pc.index()]
+            } else {
+                exit
+            }
+        };
+
+        // Successor edges.
+        #[allow(clippy::needless_range_loop)]
+        for bi in 0..blocks.len() {
+            let end = blocks[bi].end;
+            let inst = &program.insts()[end.index()];
+            let mut succs: Vec<BlockId> = Vec::new();
+            match inst.class() {
+                InstClass::CondBranch => {
+                    succs.push(block_at(inst.static_target().expect("branch has target")));
+                    succs.push(block_at(end.next()));
+                }
+                InstClass::Jump => {
+                    succs.push(block_at(inst.static_target().expect("jump has target")));
+                }
+                InstClass::Call => {
+                    // Intraprocedural: the call "returns" to its fall-through.
+                    succs.push(block_at(end.next()));
+                }
+                InstClass::Return | InstClass::Halt => {
+                    succs.push(exit);
+                }
+                InstClass::IndirectJump => {
+                    if inst.dest().is_some() {
+                        // Indirect call: falls through like a direct call.
+                        succs.push(block_at(end.next()));
+                    } else {
+                        let hints = program.indirect_targets(end);
+                        if hints.is_empty() {
+                            succs.push(exit);
+                        } else {
+                            for &t in hints {
+                                succs.push(block_at(t));
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Straight-line block split by a following leader.
+                    succs.push(block_at(end.next()));
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[bi].succs = succs;
+        }
+
+        // Predecessors (including of the virtual exit).
+        let mut preds = vec![Vec::new(); blocks.len() + 1];
+        for (bi, b) in blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s.index()].push(BlockId(bi as u32));
+            }
+        }
+
+        Cfg { blocks, block_of, preds }
+    }
+
+    /// Number of real (non-virtual) blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no real blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The virtual exit block's id.
+    #[must_use]
+    pub fn exit(&self) -> BlockId {
+        BlockId(self.blocks.len() as u32)
+    }
+
+    /// The block with id `id`; `None` for the virtual exit.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id.index())
+    }
+
+    /// All real blocks in start-PC order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `pc`.
+    ///
+    /// # Panics
+    /// Panics if `pc` is outside the program.
+    #[must_use]
+    pub fn block_containing(&self, pc: Pc) -> BlockId {
+        self.block_of[pc.index()]
+    }
+
+    /// Successors of `id` (empty for the virtual exit).
+    #[must_use]
+    pub fn succs(&self, id: BlockId) -> &[BlockId] {
+        self.blocks.get(id.index()).map_or(&[], |b| b.succs.as_slice())
+    }
+
+    /// Predecessors of `id` (the virtual exit has predecessors too).
+    #[must_use]
+    pub fn preds(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_isa::{Asm, Reg};
+
+    fn diamond() -> Program {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "then"); // b0: pc 0
+        a.li(Reg::R2, 9); // b1: pc 1-2
+        a.jump("join");
+        a.label("then").unwrap();
+        a.li(Reg::R2, 7); // b2: pc 3
+        a.label("join").unwrap();
+        a.addi(Reg::R3, Reg::R2, 1); // b3: pc 4-5
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn diamond_blocks_and_edges() {
+        let p = diamond();
+        let g = Cfg::build(&p);
+        assert_eq!(g.len(), 4);
+        let b0 = g.block_containing(Pc(0));
+        let b1 = g.block_containing(Pc(1));
+        let b2 = g.block_containing(Pc(3));
+        let b3 = g.block_containing(Pc(4));
+        assert_eq!(g.block_containing(Pc(2)), b1);
+        let mut s0 = g.succs(b0).to_vec();
+        s0.sort_unstable();
+        let mut expect = vec![b1, b2];
+        expect.sort_unstable();
+        assert_eq!(s0, expect);
+        assert_eq!(g.succs(b1), &[b3]);
+        assert_eq!(g.succs(b2), &[b3]);
+        assert_eq!(g.succs(b3), &[g.exit()]);
+        assert_eq!(g.preds(b3).len(), 2);
+        assert_eq!(g.preds(g.exit()), &[b3]);
+        assert_eq!(g.block(b1).unwrap().len(), 2);
+        assert!(g.block(g.exit()).is_none());
+    }
+
+    #[test]
+    fn call_falls_through_and_return_exits() {
+        let mut a = Asm::new();
+        a.call("f"); // b0
+        a.halt(); // b1
+        a.label("f").unwrap();
+        a.add(Reg::R1, Reg::R1, Reg::R1); // b2 (pc 2..3 incl ret)
+        a.ret();
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let b0 = g.block_containing(Pc(0));
+        let b1 = g.block_containing(Pc(1));
+        let bf = g.block_containing(Pc(2));
+        assert_eq!(g.succs(b0), &[b1]); // call returns to fall-through
+        assert_eq!(g.succs(b1), &[g.exit()]);
+        assert_eq!(g.block_containing(Pc(3)), bf);
+        assert_eq!(g.succs(bf), &[g.exit()]);
+    }
+
+    #[test]
+    fn hinted_indirect_jump_edges() {
+        let mut a = Asm::new();
+        a.load(Reg::R1, Reg::R0, 0x10);
+        a.jalr_hinted(Reg::R0, Reg::R1, 0, &["a", "b"]);
+        a.label("a").unwrap();
+        a.halt();
+        a.label("b").unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let bj = g.block_containing(Pc(1));
+        assert_eq!(g.succs(bj).len(), 2);
+    }
+
+    #[test]
+    fn unhinted_indirect_jump_goes_to_exit() {
+        let mut a = Asm::new();
+        a.jalr(Reg::R0, Reg::R5, 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        assert_eq!(g.succs(g.block_containing(Pc(0))), &[g.exit()]);
+    }
+
+    #[test]
+    fn fall_off_end_goes_to_exit() {
+        let mut a = Asm::new();
+        a.nop();
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        assert_eq!(g.succs(g.block_containing(Pc(0))), &[g.exit()]);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 3); // b0
+        a.label("top").unwrap();
+        a.addi(Reg::R1, Reg::R1, -1); // b1
+        a.bne(Reg::R1, Reg::R0, "top");
+        a.halt(); // b2
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let b1 = g.block_containing(Pc(1));
+        assert!(g.succs(b1).contains(&b1)); // self loop
+    }
+}

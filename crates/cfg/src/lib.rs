@@ -1,0 +1,53 @@
+//! Control-flow graph recovery and reconvergence analysis.
+//!
+//! Exploiting control independence requires knowing, for each conditional
+//! branch, where its two paths re-converge. The paper's reference mechanism is
+//! software analysis of **immediate post-dominators** (Section 3.2.1): the
+//! basic block nearest a branch that lies on every path from the branch to the
+//! exit.
+//!
+//! This crate recovers basic blocks and a control-flow graph from an
+//! assembled [`ci_isa::Program`] ([`Cfg`]), computes immediate post-dominators
+//! with the Cooper–Harvey–Kennedy iterative algorithm on the reverse graph,
+//! and exposes the result as a per-branch [`ReconvergenceMap`] consumed by the
+//! simulators.
+//!
+//! The analysis is intraprocedural: calls fall through to their return site,
+//! returns flow to a virtual exit. A branch whose post-dominator is the
+//! virtual exit has no software reconvergent point (the simulators then fall
+//! back to full squash, or to the hardware heuristics of Appendix A.5).
+//!
+//! # Example
+//!
+//! ```
+//! use ci_isa::{Asm, Pc, Reg};
+//! use ci_cfg::ReconvergenceMap;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // if (r1 == 0) r2 = 7; else r2 = 9;  r3 = r2 + 1
+//! let mut a = Asm::new();
+//! a.beq(Reg::R1, Reg::R0, "then"); // pc 0
+//! a.li(Reg::R2, 9);                // pc 1
+//! a.jump("join");                  // pc 2
+//! a.label("then")?;
+//! a.li(Reg::R2, 7);                // pc 3
+//! a.label("join")?;
+//! a.addi(Reg::R3, Reg::R2, 1);     // pc 4
+//! a.halt();                        // pc 5
+//! let p = a.assemble()?;
+//! let recon = ReconvergenceMap::compute(&p);
+//! assert_eq!(recon.reconvergent_point(Pc(0)), Some(Pc(4)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod postdom;
+mod recon;
+
+pub use graph::{BasicBlock, BlockId, Cfg};
+pub use postdom::PostDominators;
+pub use recon::ReconvergenceMap;

@@ -1,0 +1,249 @@
+//! Immediate post-dominator computation.
+
+use crate::{BlockId, Cfg};
+
+/// Immediate post-dominators of every block in a [`Cfg`].
+///
+/// Computed as immediate *dominators* of the reverse graph rooted at the
+/// virtual exit, using the Cooper–Harvey–Kennedy iterative algorithm.
+/// Blocks that cannot reach the exit (statically infinite loops) have no
+/// post-dominator.
+///
+/// ```
+/// use ci_isa::{Asm, Pc, Reg};
+/// use ci_cfg::{Cfg, PostDominators};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Asm::new();
+/// a.beq(Reg::R1, Reg::R0, "skip"); // pc 0
+/// a.nop();                         // pc 1
+/// a.label("skip")?;
+/// a.halt();                        // pc 2
+/// let p = a.assemble()?;
+/// let g = Cfg::build(&p);
+/// let pd = PostDominators::compute(&g);
+/// let b_branch = g.block_containing(Pc(0));
+/// let b_skip = g.block_containing(Pc(2));
+/// assert_eq!(pd.ipdom(b_branch), Some(b_skip));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PostDominators {
+    // ipdom per block id; None = exit or unreachable-from-exit.
+    ipdom: Vec<Option<BlockId>>,
+    exit: BlockId,
+}
+
+impl PostDominators {
+    /// Compute immediate post-dominators for `cfg`.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> PostDominators {
+        let exit = cfg.exit();
+        let n = cfg.len() + 1; // including virtual exit
+
+        // Reverse-graph DFS from the exit; edges of the reverse graph are the
+        // original predecessors relation, i.e. reverse-graph successors of a
+        // node are its original predecessors.
+        let mut postorder: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative DFS with explicit stack of (node, next-child-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(exit, 0)];
+        visited[exit.0 as usize] = true;
+        while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
+            let preds = cfg.preds(node);
+            if *ci < preds.len() {
+                let child = preds[*ci];
+                *ci += 1;
+                if !visited[child.0 as usize] {
+                    visited[child.0 as usize] = true;
+                    stack.push((child, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+
+        // Reverse postorder numbering (root first).
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in postorder.iter().rev().enumerate() {
+            rpo_number[b.0 as usize] = i;
+        }
+        let order: Vec<BlockId> = postorder.iter().rev().copied().collect();
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[exit.0 as usize] = Some(exit);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_number[a.0 as usize] > rpo_number[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed node has idom");
+                }
+                while rpo_number[b.0 as usize] > rpo_number[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed node has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                // Reverse-graph predecessors of b = original successors.
+                let mut new_idom: Option<BlockId> = None;
+                for &s in cfg.succs(b) {
+                    if !visited[s.0 as usize] || idom[s.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => s,
+                        Some(cur) => intersect(&idom, cur, s),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // The exit's "idom" self-link is an algorithm artifact; expose None.
+        let mut ipdom: Vec<Option<BlockId>> = idom;
+        ipdom[exit.0 as usize] = None;
+        PostDominators { ipdom, exit }
+    }
+
+    /// The immediate post-dominator of `block`.
+    ///
+    /// A block post-dominated only by the virtual exit yields
+    /// `Some(self.exit())`. `None` is returned only for the virtual exit
+    /// itself and for blocks that cannot reach the exit.
+    #[must_use]
+    pub fn ipdom(&self, block: BlockId) -> Option<BlockId> {
+        self.ipdom.get(block.0 as usize).copied().flatten()
+    }
+
+    /// The virtual exit block id this analysis used.
+    #[must_use]
+    pub fn exit(&self) -> BlockId {
+        self.exit
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive: a block post-dominates
+    /// itself).
+    #[must_use]
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom(cur) {
+                Some(next) if next != cur => cur = next,
+                _ => return a == self.exit && cur == self.exit,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cfg;
+    use ci_isa::{Asm, Pc, Program, Reg};
+
+    fn diamond() -> Program {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "then");
+        a.li(Reg::R2, 9);
+        a.jump("join");
+        a.label("then").unwrap();
+        a.li(Reg::R2, 7);
+        a.label("join").unwrap();
+        a.addi(Reg::R3, Reg::R2, 1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn diamond_ipdoms() {
+        let p = diamond();
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        let b0 = g.block_containing(Pc(0));
+        let b1 = g.block_containing(Pc(1));
+        let b2 = g.block_containing(Pc(3));
+        let b3 = g.block_containing(Pc(4));
+        assert_eq!(pd.ipdom(b0), Some(b3));
+        assert_eq!(pd.ipdom(b1), Some(b3));
+        assert_eq!(pd.ipdom(b2), Some(b3));
+        assert_eq!(pd.ipdom(b3), Some(g.exit()));
+        assert_eq!(pd.ipdom(g.exit()), None);
+        assert!(pd.post_dominates(b3, b0));
+        assert!(pd.post_dominates(b3, b3));
+        assert!(!pd.post_dominates(b1, b0));
+    }
+
+    #[test]
+    fn loop_ipdom_is_exit_block() {
+        // do { r1-- } while (r1 != 0); halt
+        let mut a = Asm::new();
+        a.li(Reg::R1, 3); // b0
+        a.label("top").unwrap();
+        a.addi(Reg::R1, Reg::R1, -1); // b1
+        a.bne(Reg::R1, Reg::R0, "top");
+        a.halt(); // b2
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        let b1 = g.block_containing(Pc(1));
+        let b2 = g.block_containing(Pc(3));
+        // The loop-closing branch reconverges at the loop exit block.
+        assert_eq!(pd.ipdom(b1), Some(b2));
+    }
+
+    #[test]
+    fn nested_if_ipdoms() {
+        // if (a) { if (b) x; else y; } z
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "z"); // b0
+        a.beq(Reg::R2, Reg::R0, "y"); // b1
+        a.li(Reg::R3, 1); // b2 (x)
+        a.jump("z");
+        a.label("y").unwrap();
+        a.li(Reg::R3, 2); // b3 (y)
+        a.label("z").unwrap();
+        a.halt(); // b4
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        let b0 = g.block_containing(Pc(0));
+        let b1 = g.block_containing(Pc(1));
+        let bz = g.block_containing(p.label("z").unwrap());
+        assert_eq!(pd.ipdom(b0), Some(bz));
+        assert_eq!(pd.ipdom(b1), Some(bz));
+    }
+
+    #[test]
+    fn statically_infinite_loop_has_no_ipdom() {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "spin"); // b0
+        a.halt(); // b1
+        a.label("spin").unwrap();
+        a.jump("spin"); // b2: unreachable from exit
+        let p = a.assemble().unwrap();
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        let b2 = g.block_containing(Pc(2));
+        assert_eq!(pd.ipdom(b2), None);
+        // Post-dominance is defined over paths that reach the exit; the spin
+        // path never does, so the branch's ipdom is the halt block.
+        let b0 = g.block_containing(Pc(0));
+        let b1 = g.block_containing(Pc(1));
+        assert_eq!(pd.ipdom(b0), Some(b1));
+    }
+}

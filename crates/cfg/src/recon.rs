@@ -1,0 +1,152 @@
+//! Per-branch reconvergence points.
+
+use crate::{Cfg, PostDominators};
+use ci_isa::{InstClass, Pc, Program};
+use std::collections::HashMap;
+
+/// The software-analysis reconvergence map: for every conditional branch (and
+/// hinted indirect jump), the PC of the first instruction of its immediate
+/// post-dominator block.
+///
+/// This is the information the paper assumes the compiler encodes for the
+/// hardware (Section 3.2.1). Branches whose immediate post-dominator is the
+/// virtual exit — e.g. a branch whose paths only re-join in the caller — have
+/// no entry; recovery for those falls back to a full squash.
+///
+/// See the [crate-level example](crate).
+#[derive(Clone, Debug, Default)]
+pub struct ReconvergenceMap {
+    map: HashMap<Pc, Pc>,
+}
+
+impl ReconvergenceMap {
+    /// Compute the map for `program`.
+    #[must_use]
+    pub fn compute(program: &Program) -> ReconvergenceMap {
+        let cfg = Cfg::build(program);
+        let pd = PostDominators::compute(&cfg);
+        ReconvergenceMap::from_analysis(program, &cfg, &pd)
+    }
+
+    /// Compute the map from an existing CFG and post-dominator analysis.
+    #[must_use]
+    pub fn from_analysis(program: &Program, cfg: &Cfg, pd: &PostDominators) -> ReconvergenceMap {
+        let mut map = HashMap::new();
+        for (i, inst) in program.insts().iter().enumerate() {
+            let pc = Pc(i as u32);
+            let class = inst.class();
+            let predicted_control = class == InstClass::CondBranch
+                || (class == InstClass::IndirectJump && !program.indirect_targets(pc).is_empty());
+            if !predicted_control {
+                continue;
+            }
+            let block = cfg.block_containing(pc);
+            if let Some(ip) = pd.ipdom(block) {
+                if let Some(b) = cfg.block(ip) {
+                    map.insert(pc, b.start);
+                }
+            }
+        }
+        ReconvergenceMap { map }
+    }
+
+    /// The reconvergent point of the branch at `branch_pc`, if the analysis
+    /// found one.
+    #[must_use]
+    pub fn reconvergent_point(&self, branch_pc: Pc) -> Option<Pc> {
+        self.map.get(&branch_pc).copied()
+    }
+
+    /// Number of branches with a reconvergent point.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no branch has a reconvergent point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(branch, reconvergent point)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, Pc)> + '_ {
+        self.map.iter().map(|(b, r)| (*b, *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_isa::{Asm, Reg};
+
+    #[test]
+    fn diamond_branch_reconverges_at_join() {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "then"); // pc 0
+        a.li(Reg::R2, 9);
+        a.jump("join");
+        a.label("then").unwrap();
+        a.li(Reg::R2, 7);
+        a.label("join").unwrap();
+        a.addi(Reg::R3, Reg::R2, 1); // pc 4
+        a.halt();
+        let p = a.assemble().unwrap();
+        let m = ReconvergenceMap::compute(&p);
+        assert_eq!(m.reconvergent_point(Pc(0)), Some(Pc(4)));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn loop_branch_reconverges_at_loop_exit() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 3);
+        a.label("top").unwrap();
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.bne(Reg::R1, Reg::R0, "top"); // pc 2
+        a.halt(); // pc 3
+        let p = a.assemble().unwrap();
+        let m = ReconvergenceMap::compute(&p);
+        assert_eq!(m.reconvergent_point(Pc(2)), Some(Pc(3)));
+    }
+
+    #[test]
+    fn branch_reconverging_only_in_caller_has_no_point() {
+        // f: if (r1) { r2 = 1; ret } else { r2 = 2; ret }
+        let mut a = Asm::new();
+        a.call("f"); // pc 0
+        a.halt(); // pc 1
+        a.label("f").unwrap();
+        a.beq(Reg::R1, Reg::R0, "else"); // pc 2
+        a.li(Reg::R2, 1);
+        a.ret();
+        a.label("else").unwrap();
+        a.li(Reg::R2, 2);
+        a.ret();
+        let p = a.assemble().unwrap();
+        let m = ReconvergenceMap::compute(&p);
+        assert_eq!(m.reconvergent_point(Pc(2)), None);
+    }
+
+    #[test]
+    fn hinted_indirect_jump_gets_a_point() {
+        let mut a = Asm::new();
+        a.load(Reg::R1, Reg::R0, 0x10);
+        a.jalr_hinted(Reg::R0, Reg::R1, 0, &["a", "b"]); // pc 1
+        a.label("a").unwrap();
+        a.nop();
+        a.jump("join");
+        a.label("b").unwrap();
+        a.nop();
+        a.label("join").unwrap();
+        a.halt(); // pc 6
+        a.word_label(Addr(0x10) /* dummy */, "a");
+        let p = a.assemble().unwrap();
+        let m = ReconvergenceMap::compute(&p);
+        assert_eq!(m.reconvergent_point(Pc(1)), Some(p.label("join").unwrap()));
+    }
+
+    use ci_isa::Addr;
+}

@@ -1,0 +1,85 @@
+//! Property tests: CFG partitioning and post-dominance invariants on random
+//! structured programs.
+
+use ci_cfg::{Cfg, PostDominators, ReconvergenceMap};
+use ci_isa::Pc;
+use ci_workloads::random_program;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn blocks_partition_the_program(seed in 0u64..500, size in 8usize..150) {
+        let p = random_program(seed, size);
+        let g = Cfg::build(&p);
+        // Every instruction belongs to exactly one block whose range covers it.
+        let mut covered = vec![false; p.len()];
+        for b in g.blocks() {
+            for (i, slot) in covered
+                .iter_mut()
+                .enumerate()
+                .take(b.end.index() + 1)
+                .skip(b.start.index())
+            {
+                prop_assert!(!*slot, "instruction {i} in two blocks");
+                *slot = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "uncovered instructions");
+        // block_containing agrees with the ranges.
+        for (i, c) in covered.iter().enumerate() {
+            prop_assert!(*c);
+            let id = g.block_containing(Pc(i as u32));
+            let b = g.block(id).unwrap();
+            prop_assert!(b.start.index() <= i && i <= b.end.index());
+        }
+    }
+
+    #[test]
+    fn successors_are_block_starts(seed in 0u64..500, size in 8usize..150) {
+        let p = random_program(seed, size);
+        let g = Cfg::build(&p);
+        for (bi, b) in g.blocks().iter().enumerate() {
+            for &s in &b.succs {
+                if s != g.exit() {
+                    let sb = g.block(s).unwrap();
+                    // A successor is entered at its start.
+                    prop_assert!(sb.start.index() < p.len());
+                }
+                // Predecessor lists are consistent with successor lists.
+                prop_assert!(
+                    g.preds(s).contains(&ci_cfg::BlockId(bi as u32)),
+                    "pred/succ mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ipdom_post_dominates(seed in 0u64..500, size in 8usize..150) {
+        let p = random_program(seed, size);
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        for i in 0..g.len() {
+            let b = ci_cfg::BlockId(i as u32);
+            if let Some(ip) = pd.ipdom(b) {
+                prop_assert!(pd.post_dominates(ip, b), "ipdom(b{i}) must post-dominate b{i}");
+                prop_assert_ne!(ip, b, "ipdom is strict");
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergent_points_post_dominate_their_branch(seed in 0u64..500, size in 8usize..150) {
+        let p = random_program(seed, size);
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        let m = ReconvergenceMap::compute(&p);
+        for (branch, recon) in m.iter() {
+            let bb = g.block_containing(branch);
+            let rb = g.block_containing(recon);
+            prop_assert!(pd.post_dominates(rb, bb), "{branch} -> {recon}");
+            // The reconvergent point is a block leader.
+            prop_assert_eq!(g.block(rb).unwrap().start, recon);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Data-cache timing model.
+
+use crate::config::CacheModel;
+use ci_isa::Addr;
+
+/// Timing-only data cache: returns an access latency per reference and
+/// maintains LRU set-associative state for the realistic model. Values are
+/// not stored here (the simulator's memory system handles data); only hits
+/// and misses are modelled, with a perfect L2 behind misses as in the paper.
+#[derive(Clone, Debug)]
+pub struct DataCache {
+    model: CacheModel,
+    /// `sets[s]` holds up to `ways` line tags in LRU order (front = MRU).
+    sets: Vec<Vec<u64>>,
+    sets_mask: u64,
+    line_shift: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// Create a cache for `model`.
+    ///
+    /// # Panics
+    /// Panics if a realistic model's geometry is not a power-of-two line and
+    /// set count.
+    #[must_use]
+    pub fn new(model: CacheModel) -> DataCache {
+        match model {
+            CacheModel::Ideal { .. } => DataCache {
+                model,
+                sets: Vec::new(),
+                sets_mask: 0,
+                line_shift: 0,
+                hits: 0,
+                misses: 0,
+            },
+            CacheModel::Realistic { words, ways, line_words, .. } => {
+                assert!(line_words.is_power_of_two(), "line size must be a power of two");
+                let lines = words / line_words;
+                let sets = lines / ways;
+                assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+                DataCache {
+                    model,
+                    sets: vec![Vec::new(); sets],
+                    sets_mask: (sets - 1) as u64,
+                    line_shift: line_words.trailing_zeros(),
+                    hits: 0,
+                    misses: 0,
+                }
+            }
+        }
+    }
+
+    /// Access the word at `addr`, returning the access latency in cycles and
+    /// updating LRU/fill state.
+    pub fn access(&mut self, addr: Addr) -> u64 {
+        match self.model {
+            CacheModel::Ideal { latency } => latency,
+            CacheModel::Realistic { ways, hit, miss, .. } => {
+                let line = addr.0 >> self.line_shift;
+                let set = &mut self.sets[(line & self.sets_mask) as usize];
+                if let Some(pos) = set.iter().position(|&t| t == line) {
+                    set.remove(pos);
+                    set.insert(0, line);
+                    self.hits += 1;
+                    hit
+                } else {
+                    set.insert(0, line);
+                    set.truncate(ways);
+                    self.misses += 1;
+                    miss
+                }
+            }
+        }
+    }
+
+    /// Hit and miss counts so far (zeros for the ideal model).
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_flat_latency() {
+        let mut c = DataCache::new(CacheModel::Ideal { latency: 1 });
+        assert_eq!(c.access(Addr(0)), 1);
+        assert_eq!(c.access(Addr(12345)), 1);
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = DataCache::new(CacheModel::paper_realistic());
+        assert_eq!(c.access(Addr(0x100)), 14); // cold miss
+        assert_eq!(c.access(Addr(0x100)), 2); // hit
+        assert_eq!(c.access(Addr(0x101)), 2); // same line
+        assert_eq!(c.access(Addr(0x108)), 14); // next line
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // Tiny cache: 2 ways, 1 set, 1-word lines.
+        let model = CacheModel::Realistic { words: 2, ways: 2, line_words: 1, hit: 1, miss: 10 };
+        let mut c = DataCache::new(model);
+        assert_eq!(c.access(Addr(1)), 10);
+        assert_eq!(c.access(Addr(2)), 10);
+        assert_eq!(c.access(Addr(1)), 1); // 1 is MRU now
+        assert_eq!(c.access(Addr(3)), 10); // evicts 2
+        assert_eq!(c.access(Addr(2)), 10); // miss again
+        assert_eq!(c.access(Addr(3)), 1);
+    }
+
+    #[test]
+    fn conflict_misses_across_sets() {
+        // 2 sets, direct mapped, 1-word lines.
+        let model = CacheModel::Realistic { words: 2, ways: 1, line_words: 1, hit: 1, miss: 9 };
+        let mut c = DataCache::new(model);
+        assert_eq!(c.access(Addr(0)), 9);
+        assert_eq!(c.access(Addr(1)), 9); // different set
+        assert_eq!(c.access(Addr(0)), 1);
+        assert_eq!(c.access(Addr(2)), 9); // conflicts with 0
+        assert_eq!(c.access(Addr(0)), 9);
+    }
+}

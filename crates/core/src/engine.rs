@@ -1,0 +1,669 @@
+//! The pipeline: structures, construction, the cycle loop, and the front end
+//! (fetch/rename/dispatch).
+//!
+//! Stage methods live in sibling modules: issue/execute/writeback in
+//! [`crate::exec`], misprediction recovery in [`crate::recover`], retirement
+//! in [`crate::retire`].
+
+use crate::cache::DataCache;
+use crate::config::PipelineConfig;
+use crate::recon::ReconDetector;
+use crate::regfile::{MapTable, PhysReg, PhysRegFile};
+use crate::rob::{InstId, Rob, SegCursor};
+use crate::stats::Stats;
+use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack, TfrTable};
+use ci_emu::{run_trace, DynInst, EmuError, Memory};
+use ci_isa::{Addr, Inst, InstClass, Pc, Program, Reg};
+
+/// A renamed source operand.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SrcBinding {
+    pub arch: Reg,
+    pub phys: PhysReg,
+}
+
+/// Execution state of a window entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EState {
+    /// Not issued, or invalidated and awaiting reissue.
+    Waiting,
+    /// Issued; completes at the contained cycle.
+    Executing { done_at: u64 },
+    /// Executed; result fields are valid (until invalidated).
+    Done,
+}
+
+/// One instruction in the window. Instructions stay here from fetch to
+/// retirement — including across reissues, as Section 3.2.4 requires.
+#[derive(Clone, Debug)]
+pub(crate) struct Entry {
+    pub inst: Inst,
+    pub pc: Pc,
+    pub class: InstClass,
+    // Rename state.
+    pub srcs: [Option<SrcBinding>; 2],
+    pub dest: Option<(Reg, PhysReg)>,
+    // Execution state.
+    pub state: EState,
+    pub issue_count: u32,
+    pub dspec: bool,
+    pub result: u64,
+    pub addr: Option<Addr>,
+    pub exec_next: Option<Pc>,
+    pub taken: bool,
+    pub src_store: Option<InstId>,
+    /// Control: the latest execution's path consistency has been checked.
+    pub resolved: bool,
+    // Front-end bookkeeping.
+    pub pred_next: Pc,
+    pub first_pred_next: Pc,
+    pub ghr_before: GlobalHistory,
+    pub ras_after: Option<Vec<Pc>>,
+    pub fetched_at: u64,
+    /// Index on the architecturally correct path, if this instruction is on
+    /// it (the paper's parallel "fully-accurate window", A.3.1).
+    pub oracle_idx: Option<usize>,
+    // Statistics flags (Table 3 taxonomy).
+    pub survived: bool,
+    pub saved_done: bool,
+    pub discarded: bool,
+    pub only_fetched: bool,
+    // Per-instruction reissue accounting (Table 4 counts these at
+    // retirement, so squashed wrong-path work is excluded).
+    pub mem_reissues: u32,
+    pub reg_reissues: u32,
+}
+
+/// The sequencer's current activity (Section 3.1 / Figure 4).
+#[derive(Clone, Debug)]
+pub(crate) enum Sequencer {
+    /// Appending at the tail.
+    Normal,
+    /// Restart sequence: fetching the correct control-dependent path into the
+    /// middle of the window.
+    Restart(RestartState),
+    /// Redispatch sequence: re-renaming (and re-predicting) the
+    /// control-independent instructions.
+    Redispatch(RedispatchState),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct RestartState {
+    pub branch: InstId,
+    pub cursor: InstId,
+    pub recon: InstId,
+    pub recon_pc: Pc,
+    pub map: MapTable,
+    pub seg: SegCursor,
+    pub started_at: u64,
+    pub inserted: u64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct RedispatchState {
+    pub cursor: Option<InstId>,
+    pub map: MapTable,
+    pub ghr: GlobalHistory,
+    pub ras: ReturnAddressStack,
+}
+
+/// A detected misprediction awaiting service.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingRecovery {
+    pub branch: InstId,
+    pub redirect: Pc,
+    /// True if produced by branch execution (classify true/false
+    /// mispredictions); false if produced by a re-predict sequence.
+    pub from_exec: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct FetchCtx {
+    pub pc: Pc,
+    pub ghr: GlobalHistory,
+    pub ras: ReturnAddressStack,
+    pub stalled: bool,
+}
+
+/// The detailed execution-driven superscalar pipeline with selective-squash
+/// control independence.
+///
+/// See the crate-level documentation for the model; construct with
+/// [`Pipeline::new`] and drive with [`Pipeline::run`].
+#[derive(Debug)]
+pub struct Pipeline<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) cfg: PipelineConfig,
+    // Architectural reference.
+    pub(crate) oracle: Vec<DynInst>,
+    pub(crate) oracle_hist: Vec<GlobalHistory>,
+    // Machine state.
+    pub(crate) rob: Rob<Entry>,
+    pub(crate) regs: PhysRegFile,
+    pub(crate) map: MapTable,
+    pub(crate) committed_map: MapTable,
+    pub(crate) memory: Memory,
+    pub(crate) cache: DataCache,
+    // Predictors.
+    pub(crate) gshare: Gshare,
+    pub(crate) ctb: CorrelatedTargetBuffer,
+    pub(crate) tfr_pc: TfrTable,
+    pub(crate) tfr_xor: TfrTable,
+    pub(crate) recon: ReconDetector,
+    // Sequencing.
+    pub(crate) fetch: FetchCtx,
+    /// Committed front-end state (PC/history/RAS as of the last retirement):
+    /// what a real machine restarts from when the window drains on a wrong
+    /// path.
+    pub(crate) commit_pc: Pc,
+    pub(crate) commit_ghr: GlobalHistory,
+    pub(crate) commit_ras: ReturnAddressStack,
+    pub(crate) seq: Sequencer,
+    pub(crate) suspended: Vec<RestartState>,
+    pub(crate) pending: Vec<PendingRecovery>,
+    pub(crate) now: u64,
+    pub(crate) stats: Stats,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Build a pipeline for `program`, pre-computing the architectural
+    /// reference trace of up to `max_insts` instructions.
+    ///
+    /// # Errors
+    /// Propagates [`EmuError`] if the program's correct path leaves the
+    /// program.
+    pub fn new(
+        program: &'p Program,
+        config: PipelineConfig,
+        max_insts: u64,
+    ) -> Result<Pipeline<'p>, EmuError> {
+        let trace = run_trace(program, max_insts)?;
+        let oracle: Vec<DynInst> = trace.insts().to_vec();
+        // Prefix global histories for the oracle-GHR mode (Figure 12).
+        let mut oracle_hist = Vec::with_capacity(oracle.len() + 1);
+        let mut h = GlobalHistory::new();
+        for d in &oracle {
+            oracle_hist.push(h);
+            if d.class() == InstClass::CondBranch {
+                h.push(d.taken);
+            }
+        }
+        oracle_hist.push(h);
+
+        Ok(Pipeline {
+            program,
+            cfg: config,
+            oracle,
+            oracle_hist,
+            rob: Rob::new(config.segment),
+            regs: PhysRegFile::new(),
+            map: MapTable::initial(),
+            committed_map: MapTable::initial(),
+            memory: Memory::with_image(program.data()),
+            cache: DataCache::new(config.cache),
+            gshare: Gshare::new(config.predictor_bits),
+            ctb: CorrelatedTargetBuffer::new(config.predictor_bits),
+            tfr_pc: TfrTable::new(config.predictor_bits),
+            tfr_xor: TfrTable::new(config.predictor_bits),
+            recon: ReconDetector::new(program, config.recon),
+            fetch: FetchCtx {
+                pc: program.entry(),
+                ghr: GlobalHistory::new(),
+                ras: ReturnAddressStack::bounded(64),
+                stalled: false,
+            },
+            commit_pc: program.entry(),
+            commit_ghr: GlobalHistory::new(),
+            commit_ras: ReturnAddressStack::bounded(64),
+            seq: Sequencer::Normal,
+            suspended: Vec::new(),
+            pending: Vec::new(),
+            now: 0,
+            stats: Stats::default(),
+        })
+    }
+
+    /// Number of instructions on the architectural reference path.
+    #[must_use]
+    pub fn target_retirements(&self) -> u64 {
+        self.oracle.len() as u64
+    }
+
+    /// Run to completion (all reference instructions retired) and return the
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics if the simulation stops making forward progress or (with
+    /// `check` enabled) retires an instruction that disagrees with the
+    /// functional emulator — both indicate simulator bugs.
+    pub fn run(&mut self) -> Stats {
+        let target = self.oracle.len() as u64;
+        let cap = 600 * target + 100_000;
+        while self.stats.retired < target {
+            self.cycle();
+            if self.now >= cap {
+                self.dump_deadlock();
+                panic!("pipeline failed to make forward progress at cycle {}", self.now);
+            }
+        }
+        self.stats.cycles = self.now;
+        let (h, m) = self.cache.stats();
+        self.stats.cache_hits = h;
+        self.stats.cache_misses = m;
+        self.stats.clone()
+    }
+
+    /// Whether `id` is the recovering branch or insertion cursor of the
+    /// active or a suspended restart (and must therefore not retire yet —
+    /// the sequencer still holds it as recovery state).
+    pub(crate) fn restart_cursor_blocked(&self, id: InstId) -> bool {
+        if let Sequencer::Restart(rs) = &self.seq {
+            if rs.cursor == id || rs.branch == id {
+                return true;
+            }
+        }
+        self.suspended.iter().any(|rs| rs.cursor == id || rs.branch == id)
+    }
+
+    /// Diagnostic dump used when the forward-progress cap trips.
+    fn dump_deadlock(&self) {
+        eprintln!("=== deadlock at cycle {} retired {} ===", self.now, self.stats.retired);
+        eprintln!("seq: {:?}", match &self.seq {
+            Sequencer::Normal => "Normal".to_string(),
+            Sequencer::Restart(rs) => format!("Restart recon_pc={} branch_alive={} recon_alive={}", rs.recon_pc, self.rob.alive(rs.branch), self.rob.alive(rs.recon)),
+            Sequencer::Redispatch(_) => "Redispatch".to_string(),
+        });
+        eprintln!("fetch: pc={} stalled={} pending={} suspended={}", self.fetch.pc, self.fetch.stalled, self.pending.len(), self.suspended.len());
+        for (n, id) in self.rob.iter().enumerate().take(12) {
+            let e = self.rob.get(id);
+            eprintln!("  [{n}] {} {:?} state={:?} resolved={} exec_next={:?} pred_next={} oracle={:?}", e.pc, e.inst.op, e.state, e.resolved, e.exec_next, e.pred_next, e.oracle_idx);
+        }
+    }
+
+    /// Advance one cycle.
+    pub(crate) fn cycle(&mut self) {
+        self.now += 1;
+        #[cfg(debug_assertions)]
+        let trace_stages =
+            self.cfg.check && std::env::var_os("CI_CORE_INVARIANTS").is_some();
+        #[cfg(debug_assertions)]
+        macro_rules! chk {
+            ($stage:expr) => {
+                if trace_stages {
+                    self.check_window_invariants($stage);
+                }
+            };
+        }
+        #[cfg(not(debug_assertions))]
+        macro_rules! chk {
+            ($stage:expr) => {};
+        }
+        self.writeback();
+        chk!("writeback");
+        self.detect_mispredictions();
+        chk!("detect");
+        self.service_recoveries();
+        chk!("service");
+        self.redispatch_step();
+        chk!("redispatch");
+        self.retire_stage();
+        chk!("retire");
+        // If the window fully drained while fetch was stalled on a dead-end
+        // wrong path, restart fetch from the committed state.
+        if self.fetch.stalled
+            && self.rob.is_empty()
+            && matches!(self.seq, Sequencer::Normal)
+            && self.stats.retired < self.oracle.len() as u64
+        {
+            self.fetch.pc = self.commit_pc;
+            self.fetch.ghr = self.commit_ghr;
+            self.fetch.ras = self.commit_ras.snapshot();
+            self.map = self.committed_map.clone();
+            self.fetch.stalled = false;
+        }
+        self.fetch_stage();
+        chk!("fetch");
+        self.issue_stage();
+        chk!("issue");
+    }
+
+    /// Debug invariant: every non-control instruction's successor must be
+    /// its fall-through unless a restart's insertion point accounts for the
+    /// discontinuity.
+    #[cfg(debug_assertions)]
+    fn check_window_invariants(&self, stage: &str) {
+        for id in self.rob.iter() {
+            let e = self.rob.get(id);
+            if e.class.is_control() || e.class == InstClass::Halt {
+                continue;
+            }
+            let Some(next) = self.rob.next(id) else { continue };
+            let npc = self.rob.get(next).pc;
+            if npc == e.pc.next() {
+                continue;
+            }
+            let covered = match &self.seq {
+                Sequencer::Restart(rs) => rs.cursor == id,
+                _ => false,
+            } || self.suspended.iter().any(|rs| rs.cursor == id);
+            assert!(
+                covered,
+                "window hole after non-control {} at cycle {} stage {}: successor {}",
+                e.pc, self.now, stage, npc
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    /// The PC of the entry after `id` in the window.
+    pub(crate) fn successor_pc(&self, id: InstId) -> Option<Pc> {
+        self.rob.next(id).map(|n| self.rob.get(n).pc)
+    }
+
+    /// Compute an entry's oracle index from its predecessor's.
+    pub(crate) fn oracle_tag(&self, prev: Option<InstId>, pc: Pc) -> Option<usize> {
+        match prev {
+            None => {
+                let r = self.stats.retired as usize;
+                (r < self.oracle.len() && self.oracle[r].pc == pc).then_some(r)
+            }
+            Some(p) => {
+                let pe = self.rob.get(p);
+                let i = pe.oracle_idx?;
+                (self.oracle[i].next_pc == pc && i + 1 < self.oracle.len()).then_some(i + 1)
+            }
+        }
+    }
+
+    fn fetch_stage(&mut self) {
+        // Restart fetch and normal fetch share the one sequencer; redispatch
+        // occupies it entirely (no fetch during redispatch).
+        if matches!(self.seq, Sequencer::Redispatch(_)) {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            // A restart connects when its fetch PC reaches the reconvergent
+            // point.
+            if let Sequencer::Restart(rs) = &self.seq {
+                if self.fetch.pc == rs.recon_pc && self.rob.alive(rs.recon) {
+                    let rs = rs.clone();
+                    self.begin_redispatch(&rs);
+                    return;
+                }
+            }
+            if self.fetch.stalled {
+                self.degenerate_stalled_restart();
+                return;
+            }
+            let Some(&inst) = self.program.fetch(self.fetch.pc) else {
+                // Wrong-path fetch left the program: stall until a recovery
+                // redirects the front end.
+                self.fetch.stalled = true;
+                self.degenerate_stalled_restart();
+                return;
+            };
+            // Window capacity. A restart may squash youngest-first to make
+            // room (Section 3.2.2); normal fetch just stalls.
+            while self.rob.capacity_used() >= self.cfg.window {
+                match &self.seq {
+                    Sequencer::Restart(_) => {
+                        if !self.evict_youngest_for_restart() {
+                            // Nothing evictable and retirement is blocked on
+                            // this very restart: fall back to a complete
+                            // squash (happens only with segment sizes near
+                            // the window size).
+                            self.force_full_squash_of_restart();
+                            return;
+                        }
+                        // Eviction may have degenerated the restart.
+                        if !matches!(self.seq, Sequencer::Restart(_))
+                            && self.rob.capacity_used() >= self.cfg.window
+                        {
+                            return;
+                        }
+                    }
+                    _ => return,
+                }
+            }
+            self.fetch_one(inst);
+            if self.fetch.stalled {
+                self.degenerate_stalled_restart();
+                return;
+            }
+        }
+    }
+
+    /// A restart whose fill path dead-ends (halt or out-of-program) can
+    /// never reach its reconvergent point — usually a heuristic that picked
+    /// a bogus point on the wrong path. Squash from the unreachable
+    /// reconvergent point and fall back to tail fetch so the machine drains.
+    fn degenerate_stalled_restart(&mut self) {
+        if let Sequencer::Restart(rs) = &self.seq {
+            let rs = rs.clone();
+            if self.rob.alive(rs.recon) {
+                self.squash_suffix_from(rs.recon);
+            }
+            self.map = rs.map;
+            self.seq = Sequencer::Normal;
+            self.unresolve(rs.branch);
+        }
+    }
+
+    /// Abandon the active restart entirely: squash everything younger than
+    /// its branch and restart fetch from the branch's corrected path — the
+    /// behaviour of a complete squash. Used when a restart cannot obtain
+    /// window space by evicting (pathological segment/window ratios).
+    fn force_full_squash_of_restart(&mut self) {
+        let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal) else {
+            return;
+        };
+        if let Some(n) = self.rob.next(rs.branch) {
+            self.squash_suffix_from(n);
+        }
+        self.map = self.map_at(rs.branch);
+        let e = self.rob.get(rs.branch);
+        let redirect = e.pred_next;
+        let mut ghr = e.ghr_before;
+        if e.class == InstClass::CondBranch {
+            ghr.push(Some(redirect) == e.inst.static_target());
+        }
+        let snap = e.ras_after.clone();
+        self.restore_ras(snap.as_ref());
+        self.fetch.ghr = ghr;
+        self.fetch.pc = redirect;
+        self.fetch.stalled = false;
+    }
+
+    /// Squash the youngest instruction to make room for a restart insert.
+    /// Returns false if the restart degenerated (reconvergent point evicted).
+    fn evict_youngest_for_restart(&mut self) -> bool {
+        let Some(tail) = self.rob.tail() else { return false };
+        let Sequencer::Restart(rs) = &self.seq else { return false };
+        if tail == rs.cursor || tail == rs.branch {
+            // Nothing evictable: the window is all older instructions.
+            return false;
+        }
+        let degenerate = tail == rs.recon;
+        self.stats.ci_evicted += 1;
+        self.squash_one(tail);
+        if degenerate {
+            // All control-independent work is gone; the restart becomes
+            // plain tail fetch from the current restart PC, continuing with
+            // the restart's rename map.
+            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal)
+            else {
+                unreachable!()
+            };
+            self.map = rs.map.clone();
+            self.unresolve(rs.branch);
+        }
+        true
+    }
+
+    /// Fetch, predict, rename and dispatch one instruction at the current
+    /// fetch PC.
+    fn fetch_one(&mut self, inst: Inst) {
+        let pc = self.fetch.pc;
+        let class = inst.class();
+
+        // Predecessor in logical order (for oracle tagging).
+        let prev = match &self.seq {
+            Sequencer::Normal => self.rob.tail(),
+            Sequencer::Restart(rs) => Some(rs.cursor),
+            Sequencer::Redispatch(_) => unreachable!("no fetch during redispatch"),
+        };
+        let oracle_idx = self.oracle_tag(prev, pc);
+
+        // Predict the next PC.
+        let ghr_before = self.fetch.ghr;
+        let hist = if self.cfg.oracle_ghr {
+            oracle_idx.map_or(ghr_before, |i| self.oracle_hist[i])
+        } else {
+            ghr_before
+        };
+        let fallthrough = pc.next();
+        let next = match class {
+            InstClass::CondBranch => {
+                let t = self.gshare.predict(pc, hist);
+                self.fetch.ghr.push(t);
+                if t {
+                    inst.static_target().unwrap_or(fallthrough)
+                } else {
+                    fallthrough
+                }
+            }
+            InstClass::Jump => inst.static_target().unwrap_or(fallthrough),
+            InstClass::Call => {
+                self.fetch.ras.push(fallthrough);
+                inst.static_target().unwrap_or(fallthrough)
+            }
+            InstClass::Return => self.fetch.ras.pop().unwrap_or(fallthrough),
+            InstClass::IndirectJump => {
+                if inst.dest().is_some() {
+                    self.fetch.ras.push(fallthrough);
+                }
+                self.ctb.predict(pc, hist).unwrap_or(fallthrough)
+            }
+            InstClass::Halt => {
+                self.fetch.stalled = true;
+                fallthrough
+            }
+            _ => fallthrough,
+        };
+        self.recon.observe(pc, &inst, next);
+
+        // Rename against the active map (the restart's own map while filling
+        // a gap, the speculative tail map otherwise).
+        let map = match &mut self.seq {
+            Sequencer::Restart(rs) => &mut rs.map,
+            _ => &mut self.map,
+        };
+        let mut srcs = [None, None];
+        for (k, r) in inst.sources().enumerate() {
+            srcs[k] = Some(SrcBinding { arch: r, phys: map.get(r) });
+        }
+        let dest = inst.dest().map(|r| (r, self.regs.alloc()));
+        let map = match &mut self.seq {
+            Sequencer::Restart(rs) => &mut rs.map,
+            _ => &mut self.map,
+        };
+        if let Some((r, p)) = dest {
+            map.set(r, p);
+        }
+
+        let ras_after = class
+            .is_control()
+            .then(|| self.fetch.ras.snapshot())
+            .map(|s| {
+                // Store the raw stack contents.
+                let mut v = Vec::new();
+                let mut s = s;
+                while let Some(pc) = s.pop() {
+                    v.push(pc);
+                }
+                v.reverse();
+                v
+            });
+
+        let entry = Entry {
+            inst,
+            pc,
+            class,
+            srcs,
+            dest,
+            state: EState::Waiting,
+            issue_count: 0,
+            dspec: false,
+            result: 0,
+            addr: None,
+            exec_next: None,
+            taken: false,
+            src_store: None,
+            resolved: false,
+            pred_next: next,
+            first_pred_next: next,
+            ghr_before,
+            ras_after,
+            fetched_at: self.now,
+            oracle_idx,
+            survived: false,
+            saved_done: false,
+            discarded: false,
+            only_fetched: false,
+            mem_reissues: 0,
+            reg_reissues: 0,
+        };
+
+        match &self.seq {
+            Sequencer::Restart(rs) => {
+                let cursor = rs.cursor;
+                let mut seg = rs.seg;
+                // The cursor's successor changes: re-check consistency.
+                self.rob.get_mut(cursor).resolved = false;
+                let id = self.rob.insert_after(cursor, entry, &mut seg);
+                if let Sequencer::Restart(rs) = &mut self.seq {
+                    rs.seg = seg;
+                    rs.cursor = id;
+                    rs.inserted += 1;
+                }
+                self.stats.inserted += 1;
+            }
+            _ => {
+                // The former tail's successor changes: its path consistency
+                // must be re-checked (it may have resolved against the bare
+                // fetch PC).
+                if let Some(t) = self.rob.tail() {
+                    self.rob.get_mut(t).resolved = false;
+                }
+                self.rob.push_back(entry);
+            }
+        }
+        self.fetch.pc = next;
+    }
+
+    /// Restore a RAS snapshot stored on an entry into the fetch context.
+    pub(crate) fn restore_ras(&mut self, snapshot: Option<&Vec<Pc>>) {
+        let mut ras = ReturnAddressStack::bounded(64);
+        if let Some(v) = snapshot {
+            for &pc in v {
+                ras.push(pc);
+            }
+        }
+        self.fetch.ras = ras;
+    }
+
+    /// Rebuild the rename map as it stood just after `upto` dispatched.
+    pub(crate) fn map_at(&self, upto: InstId) -> MapTable {
+        let mut m = self.committed_map.clone();
+        for id in self.rob.iter() {
+            if let Some((r, p)) = self.rob.get(id).dest {
+                m.set(r, p);
+            }
+            if id == upto {
+                break;
+            }
+        }
+        m
+    }
+}

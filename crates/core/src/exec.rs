@@ -1,0 +1,288 @@
+//! Issue, execution, writeback and value-driven selective reissue.
+
+use crate::engine::{EState, Pipeline};
+use crate::rob::InstId;
+use ci_emu::exec::{alu_result, branch_taken, effective_addr};
+use ci_isa::InstClass;
+
+impl Pipeline<'_> {
+    /// Select and issue up to `width` ready instructions, oldest first.
+    /// Instructions remain in the window and may issue again after
+    /// invalidation (selective reissue, Section 3.2.4).
+    pub(crate) fn issue_stage(&mut self) {
+        let mut picked: Vec<InstId> = Vec::with_capacity(self.cfg.width);
+        for id in self.rob.iter() {
+            if picked.len() >= self.cfg.width {
+                break;
+            }
+            let e = self.rob.get(id);
+            if e.state != EState::Waiting || self.now < e.fetched_at + 2 {
+                continue;
+            }
+            if !e.srcs.iter().flatten().all(|s| self.regs.ready(s.phys)) {
+                continue;
+            }
+            picked.push(id);
+        }
+        for id in picked {
+            self.execute(id);
+        }
+    }
+
+    /// Execute `id` immediately, scheduling its completion.
+    fn execute(&mut self, id: InstId) {
+        let (class, inst, pc, srcs) = {
+            let e = self.rob.get(id);
+            (e.class, e.inst, e.pc, e.srcs)
+        };
+        // Operand lookup by architectural register: `sources()` omits r0 and
+        // compacts, so positional indexing would misattribute operands.
+        let lookup = |r: ci_isa::Reg| -> u64 {
+            if r.is_zero() {
+                0
+            } else {
+                srcs.iter()
+                    .flatten()
+                    .find(|s| s.arch == r)
+                    .map_or(0, |s| self.regs.value(s.phys))
+            }
+        };
+        let a = lookup(inst.rs1);
+        let b = lookup(inst.rs2);
+        let src_dspec = srcs
+            .iter()
+            .flatten()
+            .any(|s| self.regs.dspec(s.phys));
+
+        let mut result = 0u64;
+        let mut addr = None;
+        let mut exec_next = None;
+        let mut taken = false;
+        let mut src_store = None;
+        let mut dspec = src_dspec;
+
+        let base_latency = self.cfg.latencies.execute(class);
+        let mut done_at = self.now + base_latency;
+
+        match class {
+            InstClass::IntAlu | InstClass::IntMul | InstClass::IntDiv => {
+                result = alu_result(inst.op, a, b, inst.imm);
+            }
+            InstClass::Load => {
+                let ea = effective_addr(a, inst.imm);
+                addr = Some(ea);
+                let key = self.rob.key(id);
+                // Youngest older Done store to the same address forwards.
+                let mut forward: Option<InstId> = None;
+                let mut unknown_older_store = false;
+                for sid in self.rob.iter() {
+                    if self.rob.key(sid) >= key {
+                        break;
+                    }
+                    let se = self.rob.get(sid);
+                    if se.class == InstClass::Store {
+                        if se.state == EState::Done {
+                            if se.addr == Some(ea) {
+                                forward = Some(sid);
+                            }
+                        } else {
+                            unknown_older_store = true;
+                        }
+                    }
+                }
+                match forward {
+                    Some(sid) => {
+                        result = self.rob.get(sid).result;
+                        src_store = Some(sid);
+                        done_at = self.now + base_latency + 1; // store-queue forward
+                    }
+                    None => {
+                        result = self.memory.read(ea);
+                        done_at = self.now + base_latency + self.cache.access(ea);
+                    }
+                }
+                dspec = dspec || unknown_older_store;
+            }
+            InstClass::Store => {
+                let ea = effective_addr(a, inst.imm);
+                addr = Some(ea);
+                result = b; // the stored value
+            }
+            InstClass::CondBranch => {
+                taken = branch_taken(inst.op, a, b);
+                exec_next = Some(if taken {
+                    inst.static_target().unwrap_or(pc.next())
+                } else {
+                    pc.next()
+                });
+            }
+            InstClass::Jump => exec_next = Some(inst.static_target().unwrap_or(pc.next())),
+            InstClass::Call => {
+                result = u64::from(pc.next().0);
+                exec_next = Some(inst.static_target().unwrap_or(pc.next()));
+            }
+            InstClass::Return | InstClass::IndirectJump => {
+                result = u64::from(pc.next().0);
+                exec_next = Some(ci_isa::Pc(a.wrapping_add(inst.imm as u64) as u32));
+            }
+            InstClass::Halt => exec_next = Some(pc.next()),
+        }
+
+        let e = self.rob.get_mut(id);
+        e.state = EState::Executing { done_at };
+        e.issue_count += 1;
+        e.result = result;
+        e.addr = addr;
+        e.exec_next = exec_next;
+        e.taken = taken;
+        e.src_store = src_store;
+        e.dspec = dspec;
+        e.resolved = false;
+    }
+
+    /// Complete instructions whose execution finishes this cycle: write
+    /// results, cascade invalidations to consumers that issued under stale
+    /// versions, and run memory-ordering checks for stores.
+    pub(crate) fn writeback(&mut self) {
+        let finishing: Vec<InstId> = self
+            .rob
+            .iter()
+            .filter(|&id| {
+                matches!(self.rob.get(id).state, EState::Executing { done_at } if done_at <= self.now)
+            })
+            .collect();
+        for id in finishing {
+            // A cascade from an earlier completion this cycle may have
+            // invalidated or even squashed this entry (restart
+            // cancellation); its in-flight execution is dropped.
+            if !self.rob.alive(id) {
+                continue;
+            }
+            if !matches!(self.rob.get(id).state, EState::Executing { done_at } if done_at <= self.now)
+            {
+                continue;
+            }
+            let (dest, class, dspec, result) = {
+                let e = self.rob.get_mut(id);
+                e.state = EState::Done;
+                (e.dest, e.class, e.dspec, e.result)
+            };
+            if let Some((_, p)) = dest {
+                self.regs.write(p, result, dspec);
+                self.invalidate_consumers_of(p, id);
+            }
+            if class == InstClass::Store {
+                self.store_violation_check(id);
+            }
+        }
+    }
+
+    /// Invalidate issued consumers of physical register `p` (they issued
+    /// before this write and must reissue with the new value).
+    fn invalidate_consumers_of(&mut self, p: crate::regfile::PhysReg, producer: InstId) {
+        let pkey = self.rob.key(producer);
+        let victims: Vec<InstId> = self
+            .rob
+            .iter()
+            .filter(|&id| {
+                if id == producer || self.rob.key(id) <= pkey {
+                    return false;
+                }
+                let e = self.rob.get(id);
+                if e.state == EState::Waiting {
+                    return false;
+                }
+                e.srcs.iter().flatten().any(|s| s.phys == p)
+            })
+            .collect();
+        for v in victims {
+            self.invalidate(v);
+        }
+    }
+
+    /// Invalidate an issued/completed instruction so it reissues.
+    pub(crate) fn invalidate(&mut self, id: InstId) {
+        if !self.rob.alive(id) {
+            return;
+        }
+        {
+            let e = self.rob.get(id);
+            if e.state == EState::Waiting {
+                return;
+            }
+            // An invalidated store's forwarded value is revoked: dependent
+            // loads must reissue (they will re-disambiguate).
+            if e.class == InstClass::Store {
+                self.reissue_loads_of_squashed_store(id);
+            }
+        }
+        let e = self.rob.get_mut(id);
+        if e.state == EState::Waiting {
+            return;
+        }
+        e.state = EState::Waiting;
+        e.resolved = false;
+        if e.survived && e.saved_done {
+            e.saved_done = false;
+            e.discarded = true;
+        }
+        // A restart whose branch is re-executing may be refilling a path the
+        // new outcome contradicts: cancel it (a fresh recovery will follow
+        // the re-execution if still needed).
+        self.cancel_restarts_of(id);
+    }
+
+    /// When a store resolves (or re-resolves) its address and data: younger
+    /// loads that executed against the same address without seeing this
+    /// store must reissue (memory-ordering violation, repaired selectively).
+    fn store_violation_check(&mut self, store: InstId) {
+        let skey = self.rob.key(store);
+        let saddr = self.rob.get(store).addr;
+        let victims: Vec<InstId> = self
+            .rob
+            .iter()
+            .filter(|&id| {
+                if self.rob.key(id) <= skey {
+                    return false;
+                }
+                let e = self.rob.get(id);
+                if e.class != InstClass::Load || e.state == EState::Waiting {
+                    return false;
+                }
+                if e.addr != saddr {
+                    return false;
+                }
+                // The load saw an older store (or memory); if its source is
+                // older than this store — including already-retired sources,
+                // which are older than anything in the window — it missed
+                // this store's value.
+                match e.src_store {
+                    Some(src) => !self.rob.alive(src) || self.rob.key(src) < skey,
+                    None => true,
+                }
+            })
+            .collect();
+        for v in victims {
+            self.rob.get_mut(v).mem_reissues += 1;
+            self.invalidate(v);
+        }
+    }
+
+    /// Loads that forwarded from a store being squashed must reissue.
+    pub(crate) fn reissue_loads_of_squashed_store(&mut self, store: InstId) {
+        let victims: Vec<InstId> = self
+            .rob
+            .iter()
+            .filter(|&id| {
+                let e = self.rob.get(id);
+                e.class == InstClass::Load
+                    && e.state != EState::Waiting
+                    && e.src_store == Some(store)
+            })
+            .collect();
+        for v in victims {
+            self.rob.get_mut(v).mem_reissues += 1;
+            self.invalidate(v);
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! Misprediction detection, recovery sequences (selective or full squash),
+//! restart management with preemption, and redispatch.
+
+use crate::config::{Preemption, RedispatchMode, RepredictMode, SquashMode};
+use crate::engine::{
+    EState, FetchCtx, Pipeline, PendingRecovery, RedispatchState, RestartState, Sequencer,
+};
+use crate::rob::{InstId, SegCursor};
+use ci_bpred::TfrIndexing;
+use ci_isa::{InstClass, Pc};
+
+impl Pipeline<'_> {
+    /// Scan for control instructions whose execution disagrees with the path
+    /// in the window, gated by the branch-completion model (Appendix A.2).
+    pub(crate) fn detect_mispredictions(&mut self) {
+        let in_order = self.cfg.completion.in_order();
+        let non_dspec = self.cfg.completion.non_dspec();
+        let mut older_unsettled = false;
+        let mut found: Vec<PendingRecovery> = Vec::new();
+        let mut resolved_ok: Vec<InstId> = Vec::new();
+
+        for id in self.rob.iter() {
+            let e = self.rob.get(id);
+            if !e.class.is_control() || e.class == InstClass::Halt {
+                continue;
+            }
+            let settled = e.state == EState::Done && e.resolved;
+            if settled {
+                continue;
+            }
+            let gate_order = !in_order || !older_unsettled;
+            older_unsettled = true;
+            if e.state != EState::Done {
+                continue;
+            }
+            if !gate_order {
+                continue;
+            }
+            // non-dspec models: operands must not be affected by data
+            // speculation. Data speculation in this machine comes from loads
+            // issuing ahead of unresolved stores, so a branch may complete
+            // once no older store's address remains unresolved (the
+            // condition self-clears as stores execute).
+            if non_dspec && self.has_unresolved_older_store(id) {
+                continue;
+            }
+            let exec_next = e.exec_next.expect("completed control has exec_next");
+            let succ = self.successor_pc(id);
+            let mismatch = match succ {
+                Some(s) => s != exec_next,
+                None => {
+                    // Tail instruction: compare against the front end.
+                    matches!(self.seq, Sequencer::Normal) && self.fetch.pc != exec_next
+                }
+            };
+            if !mismatch {
+                resolved_ok.push(id);
+                continue;
+            }
+            // Oracle suppression of false mispredictions (the *-HFM models):
+            // delay completion while the current path is architecturally
+            // right but the operands say otherwise.
+            if self.cfg.hide_false_mispredictions {
+                if let Some(i) = e.oracle_idx {
+                    let oracle_next = self.oracle[i].next_pc;
+                    if succ == Some(oracle_next) && exec_next != oracle_next {
+                        continue;
+                    }
+                }
+            }
+            resolved_ok.push(id);
+            found.push(PendingRecovery { branch: id, redirect: exec_next, from_exec: true });
+        }
+        for id in resolved_ok {
+            self.rob.get_mut(id).resolved = true;
+        }
+        self.pending.extend(found);
+    }
+
+    /// Service pending recoveries, oldest first, respecting the sequencer
+    /// and the preemption policy (Appendix A.1).
+    pub(crate) fn service_recoveries(&mut self) {
+        self.pending.retain(|p| self.rob.alive(p.branch));
+        loop {
+            // Oldest pending recovery.
+            let Some((slot, rec)) = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| self.rob.key(p.branch))
+                .map(|(i, p)| (i, *p))
+            else {
+                return;
+            };
+
+            // Re-validate.
+            let e = self.rob.get(rec.branch);
+            if rec.from_exec && e.state != EState::Done {
+                self.pending.swap_remove(slot);
+                continue;
+            }
+            let consistent = match self.successor_pc(rec.branch) {
+                Some(s) => s == rec.redirect,
+                None => matches!(self.seq, Sequencer::Normal) && self.fetch.pc == rec.redirect,
+            };
+            if consistent {
+                self.pending.swap_remove(slot);
+                continue;
+            }
+
+            // Sequencer interaction.
+            let bkey = self.rob.key(rec.branch);
+            match &self.seq {
+                Sequencer::Normal => {}
+                Sequencer::Restart(rs) => {
+                    if self.rob.alive(rs.recon) && bkey >= self.rob.key(rs.recon) {
+                        // In the control-independent region: serviced
+                        // serially after the active restart completes.
+                        return;
+                    }
+                    if bkey >= self.rob.key(rs.branch) {
+                        // A newly fetched (or re-resolved) branch inside the
+                        // restart's own fill region: the recovery below
+                        // replaces the active restart, keeping the correct
+                        // prefix of the fill. The old restart's unfilled gap
+                        // would otherwise survive as an unfillable hole, so
+                        // its reconvergent suffix is squashed first.
+                        let recon = rs.recon;
+                        let old_branch = rs.branch;
+                        if self.rob.alive(recon) {
+                            self.squash_suffix_from(recon);
+                        }
+                        self.seq = Sequencer::Normal;
+                        self.unresolve(old_branch);
+                        self.pending.swap_remove(slot);
+                        self.do_recover(rec);
+                        return;
+                    }
+                    // Preemption by a logically earlier misprediction.
+                    self.stats.preemptions += 1;
+                    let rs = rs.clone();
+                    match self.cfg.preemption {
+                        Preemption::Optimal => {
+                            self.suspended.push(rs);
+                            self.seq = Sequencer::Normal;
+                        }
+                        Preemption::Simple => {
+                            // Squash from the old reconvergent point so no
+                            // half-filled gap survives, then abandon it.
+                            if self.rob.alive(rs.recon) {
+                                self.squash_suffix_from(rs.recon);
+                            }
+                            self.seq = Sequencer::Normal;
+                            self.unresolve(rs.branch);
+                        }
+                    }
+                }
+                Sequencer::Redispatch(rd) => {
+                    let ahead = match rd.cursor {
+                        Some(c) => bkey >= self.rob.key(c),
+                        None => true,
+                    };
+                    if ahead {
+                        return; // walk will pass it; service afterwards
+                    }
+                    // Back up the sequencer: the new recovery's redispatch
+                    // supersedes the cancelled walk.
+                    self.seq = Sequencer::Normal;
+                }
+            }
+
+            self.pending.swap_remove(slot);
+            self.do_recover(rec);
+            return;
+        }
+    }
+
+    /// Whether any store older than `id` has not yet resolved its address.
+    fn has_unresolved_older_store(&self, id: InstId) -> bool {
+        let key = self.rob.key(id);
+        for sid in self.rob.iter() {
+            if self.rob.key(sid) >= key {
+                return false;
+            }
+            let se = self.rob.get(sid);
+            if se.class == InstClass::Store && se.state != EState::Done {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clear a branch's resolution flag so its path consistency is
+    /// re-checked (used whenever the restart recovering it dies).
+    pub(crate) fn unresolve(&mut self, id: InstId) {
+        if self.rob.alive(id) {
+            self.rob.get_mut(id).resolved = false;
+        }
+    }
+
+    /// Cancel any active or suspended restart whose recovering branch is
+    /// `id` (called when `id` is invalidated for reissue): squash the fill
+    /// inserted so far and return the sequencer to tail fetch.
+    pub(crate) fn cancel_restarts_of(&mut self, id: InstId) {
+        let active = matches!(&self.seq, Sequencer::Restart(rs) if rs.branch == id);
+        if active {
+            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal)
+            else {
+                unreachable!()
+            };
+            self.squash_between(rs.branch, rs.recon);
+            self.unresolve(rs.branch);
+            self.resume_tail_fetch();
+        }
+        let stale: Vec<RestartState> = {
+            let mut out = Vec::new();
+            self.suspended.retain_mut(|rs| {
+                if rs.branch == id {
+                    out.push(rs.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        };
+        for rs in stale {
+            if self.rob.alive(rs.branch) && self.rob.alive(rs.recon) {
+                self.squash_between(rs.branch, rs.recon);
+            }
+            self.unresolve(rs.branch);
+        }
+    }
+
+    /// Squash all live entries strictly between `a` and `b`.
+    pub(crate) fn squash_between(&mut self, a: InstId, b: InstId) {
+        let (ka, kb) = (self.rob.key(a), self.rob.key(b));
+        let victims: Vec<InstId> = self
+            .rob
+            .iter()
+            .filter(|&x| {
+                let k = self.rob.key(x);
+                k > ka && k < kb
+            })
+            .collect();
+        for v in victims.into_iter().rev() {
+            self.squash_one(v);
+        }
+    }
+
+    /// Return the sequencer to tail fetch continuing after the current tail.
+    pub(crate) fn resume_tail_fetch(&mut self) {
+        if let Some(tail) = self.rob.tail() {
+            let e = self.rob.get(tail);
+            self.fetch.pc = e.pred_next;
+            let ghr = e.ghr_before;
+            // Rebuild history: a conditional branch's own outcome bit follows
+            // its stored pre-prediction history.
+            self.fetch.ghr = if e.class == ci_isa::InstClass::CondBranch {
+                ghr.pushed(e.pred_next == e.inst.static_target().unwrap_or(e.pc.next()))
+            } else {
+                ghr
+            };
+            let snap = e.ras_after.clone();
+            if snap.is_some() {
+                self.restore_ras(snap.as_ref());
+            }
+            self.map = self.map_at(tail);
+            self.fetch.stalled = false;
+        }
+    }
+
+    /// Remove `id` and everything younger.
+    pub(crate) fn squash_suffix_from(&mut self, id: InstId) {
+        let victims: Vec<InstId> = {
+            let key = self.rob.key(id);
+            self.rob
+                .iter()
+                .filter(|&x| self.rob.key(x) >= key)
+                .collect()
+        };
+        for v in victims.into_iter().rev() {
+            self.squash_one(v);
+        }
+    }
+
+    /// Remove one instruction from the window, repairing loads that
+    /// forwarded from a squashed store.
+    pub(crate) fn squash_one(&mut self, id: InstId) {
+        let is_store = {
+            let e = self.rob.get(id);
+            e.class == InstClass::Store && e.state != EState::Waiting
+        };
+        if is_store {
+            self.reissue_loads_of_squashed_store(id);
+        }
+        // The predecessor's successor changes: its path consistency must be
+        // re-checked (a previously serviced branch may become mispredicted
+        // again when its corrected successor is squashed).
+        if let Some(prev) = self.rob.prev(id) {
+            self.rob.get_mut(prev).resolved = false;
+        }
+        // Keep an in-flight redispatch walk valid: step its cursor past the
+        // entry being removed.
+        let next = self.rob.next(id);
+        if let Sequencer::Redispatch(rd) = &mut self.seq {
+            if rd.cursor == Some(id) {
+                rd.cursor = next;
+            }
+        }
+        self.rob.remove(id);
+    }
+
+    /// Find the reconvergent point of the mispredicted branch `b` in the
+    /// window (Section 3.2.1 / Appendix A.5): the first instruction after
+    /// `b` matching, in priority order, the `ltb` target, the software
+    /// post-dominator, or a learned global candidate.
+    pub(crate) fn find_recon_entry(&self, b: InstId) -> Option<InstId> {
+        let e = self.rob.get(b);
+        let ltb = self.recon.ltb_recon(e.pc, &e.inst);
+        let soft = self.recon.software_recon(e.pc);
+        let mut cur = self.rob.next(b);
+        while let Some(id) = cur {
+            let pc = self.rob.get(id).pc;
+            if ltb == Some(pc) || soft == Some(pc) || self.recon.is_candidate(pc) {
+                return Some(id);
+            }
+            cur = self.rob.next(id);
+        }
+        None
+    }
+
+    /// Execute a recovery: classify it, selectively squash (or fully
+    /// squash), and set up the restart sequence.
+    fn do_recover(&mut self, rec: PendingRecovery) {
+        let b = rec.branch;
+        self.stats.recoveries += 1;
+        self.classify_recovery(&rec);
+
+        // Seed front-end state from just after the branch.
+        let (ghr, ras_snap, class, taken_dir) = {
+            let e = self.rob.get(b);
+            let dir = e.inst.static_target() == Some(rec.redirect);
+            (e.ghr_before, e.ras_after.clone(), e.class, dir)
+        };
+        let mut ghr = ghr;
+        if class == InstClass::CondBranch {
+            ghr.push(taken_dir);
+        }
+
+        let recon_entry = if self.cfg.squash == SquashMode::ControlIndependence {
+            self.find_recon_entry(b)
+        } else {
+            None
+        };
+
+        self.rob.get_mut(b).pred_next = rec.redirect;
+
+        match recon_entry {
+            None => {
+                // Complete squash.
+                if let Some(n) = self.rob.next(b) {
+                    self.squash_suffix_from(n);
+                }
+                self.map = self.map_at(b);
+                self.seq = Sequencer::Normal;
+                self.fetch = FetchCtx {
+                    pc: rec.redirect,
+                    ghr,
+                    ras: ci_bpred::ReturnAddressStack::bounded(64),
+                    stalled: false,
+                };
+                self.restore_ras(ras_snap.as_ref());
+                self.fetch.ghr = ghr;
+                self.fetch.pc = rec.redirect;
+                self.fetch.stalled = false;
+            }
+            Some(r) => {
+                self.stats.reconverged += 1;
+                // Selective squash of the incorrect control-dependent path.
+                let victims: Vec<InstId> = {
+                    let bk = self.rob.key(b);
+                    let rk = self.rob.key(r);
+                    self.rob
+                        .iter()
+                        .filter(|&x| {
+                            let k = self.rob.key(x);
+                            k > bk && k < rk
+                        })
+                        .collect()
+                };
+                self.stats.removed += victims.len() as u64;
+                for v in victims.into_iter().rev() {
+                    self.squash_one(v);
+                }
+                // Mark control-independent survivors (Table 2/3).
+                let mut cur = Some(r);
+                while let Some(id) = cur {
+                    self.stats.ci_instructions += 1;
+                    let e = self.rob.get_mut(id);
+                    if !e.survived {
+                        e.survived = true;
+                        match e.state {
+                            EState::Done => e.saved_done = true,
+                            _ if e.issue_count > 0 => e.discarded = true,
+                            _ => e.only_fetched = true,
+                        }
+                    }
+                    cur = self.rob.next(id);
+                }
+                // Restart sequence.
+                let map = self.map_at(b);
+                let recon_pc = self.rob.get(r).pc;
+                self.seq = Sequencer::Restart(RestartState {
+                    branch: b,
+                    cursor: b,
+                    recon: r,
+                    recon_pc,
+                    map,
+                    seg: SegCursor::default(),
+                    started_at: self.now,
+                    inserted: 0,
+                });
+                self.restore_ras(ras_snap.as_ref());
+                self.fetch.ghr = ghr;
+                self.fetch.pc = rec.redirect;
+                self.fetch.stalled = false;
+            }
+        }
+    }
+
+    /// Classify a serviced exec-detected recovery as a true or false
+    /// misprediction (Appendix A.2) and feed the TFR machinery (Figure 10).
+    fn classify_recovery(&mut self, rec: &PendingRecovery) {
+        if !rec.from_exec {
+            return;
+        }
+        let e = self.rob.get(rec.branch);
+        if e.class != InstClass::CondBranch {
+            return;
+        }
+        let Some(i) = e.oracle_idx else { return };
+        let oracle_next = self.oracle[i].next_pc;
+        let succ = self.successor_pc(rec.branch);
+        let is_false = succ == Some(oracle_next) && rec.redirect != oracle_next;
+        if is_false {
+            self.stats.false_mispredictions += 1;
+        } else {
+            self.stats.true_mispredictions += 1;
+        }
+        let (pc, hist) = (e.pc, e.ghr_before);
+        self.stats.tfr_static.record(u64::from(pc.0), is_false);
+        let pat_pc = self.tfr_pc.pattern(pc, hist, TfrIndexing::DynamicPc);
+        self.stats.tfr_dynamic_pc.record(u64::from(pat_pc), is_false);
+        self.tfr_pc.record(pc, hist, TfrIndexing::DynamicPc, is_false);
+        let pat_xor = self.tfr_xor.pattern(pc, hist, TfrIndexing::DynamicXor);
+        self.stats.tfr_dynamic_xor.record(u64::from(pat_xor), is_false);
+        self.tfr_xor.record(pc, hist, TfrIndexing::DynamicXor, is_false);
+    }
+
+    /// Transition from a completed restart to the redispatch sequence.
+    pub(crate) fn begin_redispatch(&mut self, rs: &RestartState) {
+        self.stats.restart_cycles += self.now.saturating_sub(rs.started_at);
+        self.seq = Sequencer::Redispatch(RedispatchState {
+            cursor: Some(rs.recon),
+            map: rs.map.clone(),
+            ghr: self.fetch.ghr,
+            ras: self.fetch.ras.snapshot(),
+        });
+    }
+
+    /// One cycle of the redispatch sequence: re-rename (and re-predict) up
+    /// to dispatch-width control-independent instructions; all of them for
+    /// the CI-I machine.
+    pub(crate) fn redispatch_step(&mut self) {
+        if !matches!(self.seq, Sequencer::Redispatch(_)) {
+            return;
+        }
+        let budget = match self.cfg.redispatch {
+            RedispatchMode::Pipelined => self.cfg.width,
+            RedispatchMode::Instant => usize::MAX,
+        };
+        let mut last_pred_next = None;
+        for _ in 0..budget {
+            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let Some(id) = rd.cursor else { break };
+            last_pred_next = Some(self.redispatch_one(id));
+            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            rd.cursor = self.rob.next(id);
+            if rd.cursor.is_none() {
+                break;
+            }
+        }
+        let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+        if rd.cursor.is_none() {
+            // Sequence complete: resume tail fetch (or a suspended restart).
+            let (ghr, ras) = (rd.ghr, rd.ras.snapshot());
+            // The speculative rename map picks up from the walked window.
+            self.map = rd.map.clone();
+            self.seq = Sequencer::Normal;
+            self.fetch.ghr = ghr;
+            self.fetch.ras = ras;
+            if let Some(pc) = last_pred_next.flatten() {
+                self.fetch.pc = pc;
+                self.fetch.stalled = false;
+            }
+            self.resume_suspended();
+        }
+    }
+
+    /// Resume the most recent suspended restart that is still valid
+    /// (optimal preemption). Invalid suspensions are discarded, squashing
+    /// any region they left half-repaired.
+    pub(crate) fn resume_suspended(&mut self) {
+        while let Some(mut rs) = self.suspended.pop() {
+            if self.rob.alive(rs.branch) && self.rob.alive(rs.cursor) && self.rob.alive(rs.recon) {
+                // The preempting recovery's redispatch may have remapped the
+                // window; rebuild the fill map from current state rather than
+                // trusting the one captured at suspension.
+                rs.map = self.map_at(rs.cursor);
+                // Re-seed the fetch context from the suspension point: fetch
+                // resumes at the PC after the last inserted instruction.
+                let resume_pc = self.rob.get(rs.cursor).pred_next;
+                let ghr = self.rob.get(rs.cursor).ghr_before;
+                let ras_snap = self.rob.get(rs.cursor).ras_after.clone();
+                self.restore_ras(ras_snap.as_ref());
+                self.fetch.ghr = ghr;
+                self.fetch.pc = resume_pc;
+                self.fetch.stalled = false;
+                self.seq = Sequencer::Restart(rs);
+                return;
+            }
+            // Discarded: remove anything its unfinished gap made
+            // inconsistent and force its branch to re-resolve.
+            if self.rob.alive(rs.recon) {
+                self.squash_suffix_from(rs.recon);
+            }
+            self.unresolve(rs.branch);
+            if self.rob.alive(rs.cursor) {
+                self.rob.get_mut(rs.cursor).resolved = false;
+            }
+        }
+    }
+
+    /// Redispatch one instruction: remap sources, keep the destination,
+    /// repair history, and re-predict (Appendix A.3.2). Returns the entry's
+    /// updated intended successor PC (for fetch resumption when it is the
+    /// tail).
+    fn redispatch_one(&mut self, id: InstId) -> Option<Pc> {
+        // Remap sources against the running map.
+        let mut renamed = false;
+        let (class, pc, inst, state) = {
+            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let map = rd.map.clone();
+            let e = self.rob.get_mut(id);
+            for slot in e.srcs.iter_mut().flatten() {
+                let np = map.get(slot.arch);
+                if np != slot.phys {
+                    slot.phys = np;
+                    renamed = true;
+                }
+            }
+            (e.class, e.pc, e.inst, e.state)
+        };
+        if renamed {
+            self.stats.ci_renamed += 1;
+            if state != EState::Waiting {
+                self.rob.get_mut(id).reg_reissues += 1;
+            }
+            self.invalidate(id);
+        }
+        // Destination keeps its physical register; propagate the mapping.
+        if let Some((r, p)) = self.rob.get(id).dest {
+            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            rd.map.set(r, p);
+        }
+        // Oracle re-tag.
+        let prev = self.rob.prev(id);
+        let tag = self.oracle_tag(prev, pc);
+        self.rob.get_mut(id).oracle_idx = tag;
+
+        // History repair and re-prediction.
+        let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+        let ghr_now = rd.ghr;
+        self.rob.get_mut(id).ghr_before = ghr_now;
+
+        let fallthrough = pc.next();
+        let mut pred_next = match class {
+            InstClass::CondBranch => None, // handled below
+            InstClass::Jump | InstClass::Call => inst.static_target(),
+            _ => Some(fallthrough),
+        };
+
+        if class == InstClass::CondBranch {
+            let target = inst.static_target().unwrap_or(fallthrough);
+            let succ = self.successor_pc(id);
+            let current_next = succ.unwrap_or(self.rob.get(id).pred_next);
+            // Which direction the window currently follows. When taken and
+            // not-taken targets coincide, direction is immaterial.
+            let current_dir = current_next == target;
+            let e = self.rob.get(id);
+            let hist = if self.cfg.oracle_ghr {
+                e.oracle_idx.map_or(ghr_now, |i| self.oracle_hist[i])
+            } else {
+                ghr_now
+            };
+            let new_dir = match self.cfg.repredict {
+                RepredictMode::None => current_dir,
+                RepredictMode::Heuristic => {
+                    if e.state == EState::Done {
+                        e.taken // completed branches force the predictor
+                    } else {
+                        self.gshare.predict(pc, hist)
+                    }
+                }
+                RepredictMode::Oracle => match e.oracle_idx {
+                    Some(i) => self.oracle[i].taken,
+                    None => {
+                        if e.state == EState::Done {
+                            e.taken
+                        } else {
+                            self.gshare.predict(pc, hist)
+                        }
+                    }
+                },
+            };
+            let new_next = if new_dir { target } else { fallthrough };
+            if new_dir != current_dir && target != fallthrough {
+                // The re-prediction overturns the path in the window.
+                self.pending.push(PendingRecovery {
+                    branch: id,
+                    redirect: new_next,
+                    from_exec: false,
+                });
+            }
+            pred_next = Some(new_next);
+            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            rd.ghr.push(new_dir);
+        }
+
+        // RAS replay for subsequent fetch continuity.
+        {
+            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            match class {
+                InstClass::Call => rd.ras.push(fallthrough),
+                InstClass::Return => {
+                    let popped = rd.ras.pop();
+                    if pred_next == Some(fallthrough) {
+                        pred_next = popped.or(Some(fallthrough));
+                    }
+                }
+                InstClass::IndirectJump => {
+                    if inst.dest().is_some() {
+                        rd.ras.push(fallthrough);
+                    }
+                    // Keep the currently intended target.
+                    pred_next = Some(self.rob.get(id).pred_next);
+                }
+                _ => {}
+            }
+        }
+        // Re-snapshot the RAS on control instructions.
+        if class.is_control() {
+            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let mut snap = rd.ras.snapshot();
+            let mut v = Vec::new();
+            while let Some(p) = snap.pop() {
+                v.push(p);
+            }
+            v.reverse();
+            self.rob.get_mut(id).ras_after = Some(v);
+        }
+
+        if let Some(n) = pred_next {
+            self.rob.get_mut(id).pred_next = n;
+        }
+        Some(self.rob.get(id).pred_next)
+    }
+}

@@ -1,0 +1,176 @@
+//! Unbounded physical register file and register map tables.
+//!
+//! The paper's machines assume an unlimited number of physical registers
+//! (output and anti-dependences are fully eliminated). The simulator
+//! allocates a fresh physical register per dispatched destination and never
+//! recycles them; squashed instructions' registers simply go stale, which is
+//! also what lets control-independent instructions keep *using* stale values
+//! until the redispatch sequence remaps them — the paper's false-misprediction
+//! mechanism arises from exactly this.
+
+use ci_isa::Reg;
+
+/// A physical register name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u32);
+
+#[derive(Clone, Copy, Debug)]
+struct PhysEntry {
+    value: u64,
+    ready: bool,
+    /// Bumped on every write; consumers that issued under an older version
+    /// must reissue.
+    version: u32,
+    /// Whether the value is data-speculative (produced by, or derived from, a
+    /// load that issued ahead of unresolved stores) — Appendix A.2's operand
+    /// classification.
+    dspec: bool,
+}
+
+/// The physical register file.
+#[derive(Clone, Debug, Default)]
+pub struct PhysRegFile {
+    regs: Vec<PhysEntry>,
+}
+
+impl PhysRegFile {
+    /// Create a file with the 32 architectural registers pre-allocated as
+    /// ready zeroes (`PhysReg(0)..PhysReg(31)`).
+    #[must_use]
+    pub fn new() -> PhysRegFile {
+        PhysRegFile {
+            regs: (0..Reg::COUNT)
+                .map(|_| PhysEntry { value: 0, ready: true, version: 0, dspec: false })
+                .collect(),
+        }
+    }
+
+    /// Allocate a fresh, not-ready register.
+    pub fn alloc(&mut self) -> PhysReg {
+        let id = PhysReg(self.regs.len() as u32);
+        self.regs.push(PhysEntry { value: 0, ready: false, version: 0, dspec: false });
+        id
+    }
+
+    /// Whether `p` holds a produced value.
+    #[must_use]
+    pub fn ready(&self, p: PhysReg) -> bool {
+        self.regs[p.0 as usize].ready
+    }
+
+    /// The current value of `p` (zero if never written).
+    #[must_use]
+    pub fn value(&self, p: PhysReg) -> u64 {
+        self.regs[p.0 as usize].value
+    }
+
+    /// The write version of `p`.
+    #[must_use]
+    pub fn version(&self, p: PhysReg) -> u32 {
+        self.regs[p.0 as usize].version
+    }
+
+    /// Whether `p`'s value is data-speculative.
+    #[must_use]
+    pub fn dspec(&self, p: PhysReg) -> bool {
+        self.regs[p.0 as usize].dspec
+    }
+
+    /// Write `value` to `p`, marking it ready and bumping its version.
+    pub fn write(&mut self, p: PhysReg, value: u64, dspec: bool) {
+        let e = &mut self.regs[p.0 as usize];
+        e.value = value;
+        e.ready = true;
+        e.version = e.version.wrapping_add(1);
+        e.dspec = dspec;
+    }
+
+    /// Number of allocated physical registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the file is empty (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+}
+
+/// An architectural→physical register map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapTable {
+    map: [PhysReg; Reg::COUNT],
+}
+
+impl MapTable {
+    /// The initial map: architectural register `n` maps to `PhysReg(n)`.
+    #[must_use]
+    pub fn initial() -> MapTable {
+        let mut map = [PhysReg(0); Reg::COUNT];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = PhysReg(i as u32);
+        }
+        MapTable { map }
+    }
+
+    /// Current mapping of `r`.
+    #[must_use]
+    pub fn get(&self, r: Reg) -> PhysReg {
+        self.map[r.number() as usize]
+    }
+
+    /// Remap `r` to `p`.
+    pub fn set(&mut self, r: Reg, p: PhysReg) {
+        if !r.is_zero() {
+            self.map[r.number() as usize] = p;
+        }
+    }
+}
+
+impl Default for MapTable {
+    fn default() -> Self {
+        MapTable::initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_file_is_ready_zero() {
+        let f = PhysRegFile::new();
+        assert_eq!(f.len(), 32);
+        assert!(f.ready(PhysReg(5)));
+        assert_eq!(f.value(PhysReg(5)), 0);
+        assert!(!f.dspec(PhysReg(5)));
+    }
+
+    #[test]
+    fn alloc_write_cycle() {
+        let mut f = PhysRegFile::new();
+        let p = f.alloc();
+        assert!(!f.ready(p));
+        let v0 = f.version(p);
+        f.write(p, 42, true);
+        assert!(f.ready(p));
+        assert_eq!(f.value(p), 42);
+        assert!(f.dspec(p));
+        assert_eq!(f.version(p), v0 + 1);
+        f.write(p, 43, false);
+        assert_eq!(f.version(p), v0 + 2);
+        assert!(!f.dspec(p));
+    }
+
+    #[test]
+    fn map_table_r0_pinned() {
+        let mut m = MapTable::initial();
+        assert_eq!(m.get(Reg::R7), PhysReg(7));
+        m.set(Reg::R7, PhysReg(99));
+        assert_eq!(m.get(Reg::R7), PhysReg(99));
+        m.set(Reg::R0, PhysReg(99));
+        assert_eq!(m.get(Reg::R0), PhysReg(0), "r0 mapping is immutable");
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulation statistics: everything needed to regenerate the paper's
+//! Tables 2-4, Figures 5-6 and the appendix studies.
+
+use ci_bpred::TfrStats;
+
+/// Counters collected by one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Control instructions retired that required prediction.
+    pub predictions: u64,
+    /// Retired control instructions whose original fetch-time prediction was
+    /// wrong (architectural misprediction count).
+    pub arch_mispredictions: u64,
+
+    // ---- recovery behaviour (Table 2) ----
+    /// Recovery sequences serviced (one per serviced misprediction).
+    pub recoveries: u64,
+    /// Recoveries that found a reconvergent point in the window.
+    pub reconverged: u64,
+    /// Incorrect control-dependent instructions selectively removed, summed
+    /// over reconverged recoveries.
+    pub removed: u64,
+    /// Correct control-dependent instructions inserted by restart sequences.
+    pub inserted: u64,
+    /// Control-independent instructions present at recovery, summed.
+    pub ci_instructions: u64,
+    /// Control-independent instructions that acquired new register names
+    /// during redispatch (and therefore reissued).
+    pub ci_renamed: u64,
+    /// Control-independent instructions squashed youngest-first because a
+    /// restart ran out of window space.
+    pub ci_evicted: u64,
+    /// Restart sequences preempted by an older misprediction.
+    pub preemptions: u64,
+    /// Total cycles spent in restart sequences.
+    pub restart_cycles: u64,
+
+    // ---- work saved (Table 3) ----
+    /// Retired instructions that survived at least one recovery as control
+    /// independent ("fetch saved").
+    pub fetch_saved: u64,
+    /// ... of which had issued with their final value at survival
+    /// ("work saved").
+    pub work_saved: u64,
+    /// ... of which had issued but later reissued ("work discarded").
+    pub work_discarded: u64,
+    /// ... of which had not issued at all at survival ("had only fetched").
+    pub only_fetched: u64,
+
+    // ---- reissue behaviour (Table 4; counted over *retired* instructions,
+    // so squashed wrong-path work is excluded, as in the paper) ----
+    /// Total issues of retired instructions (first issues + reissues).
+    pub issues: u64,
+    /// Retired loads' reissues due to memory-ordering violations (including
+    /// forwarding stores that were squashed or re-executed).
+    pub mem_violation_reissues: u64,
+    /// Retired instructions' reissues caused by redispatch changing a source
+    /// register name.
+    pub reg_violation_reissues: u64,
+
+    // ---- false mispredictions (Appendix A.2, Figure 10) ----
+    /// Serviced recoveries that were *true* mispredictions.
+    pub true_mispredictions: u64,
+    /// Serviced recoveries that were *false* mispredictions (correctly
+    /// predicted branches resolved with wrong operands).
+    pub false_mispredictions: u64,
+    /// Per-static-branch true/false misprediction statistics.
+    pub tfr_static: TfrStats,
+    /// Per-TFR-pattern statistics, PC-indexed table.
+    pub tfr_dynamic_pc: TfrStats,
+    /// Per-TFR-pattern statistics, gshare-indexed table.
+    pub tfr_dynamic_xor: TfrStats,
+
+    // ---- cache ----
+    /// Data-cache hits.
+    pub cache_hits: u64,
+    /// Data-cache misses.
+    pub cache_misses: u64,
+}
+
+impl Stats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of serviced mispredictions with a reconvergent point in the
+    /// window (Table 2, column 1).
+    #[must_use]
+    pub fn reconvergence_rate(&self) -> f64 {
+        ratio(self.reconverged, self.recoveries)
+    }
+
+    /// Average instructions removed per reconverged restart (Table 2).
+    #[must_use]
+    pub fn avg_removed(&self) -> f64 {
+        ratio(self.removed, self.reconverged)
+    }
+
+    /// Average instructions inserted per reconverged restart (Table 2).
+    #[must_use]
+    pub fn avg_inserted(&self) -> f64 {
+        ratio(self.inserted, self.reconverged)
+    }
+
+    /// Average control-independent instructions per reconverged restart
+    /// (Table 2).
+    #[must_use]
+    pub fn avg_ci(&self) -> f64 {
+        ratio(self.ci_instructions, self.reconverged)
+    }
+
+    /// Average control-independent instructions acquiring new register names
+    /// per reconverged restart (Table 2).
+    #[must_use]
+    pub fn avg_ci_renamed(&self) -> f64 {
+        ratio(self.ci_renamed, self.reconverged)
+    }
+
+    /// Average issues per retired instruction (Table 4).
+    #[must_use]
+    pub fn issues_per_retired(&self) -> f64 {
+        ratio(self.issues, self.retired)
+    }
+
+    /// Memory-violation reissues per retired instruction (Table 4).
+    #[must_use]
+    pub fn mem_violations_per_retired(&self) -> f64 {
+        ratio(self.mem_violation_reissues, self.retired)
+    }
+
+    /// Register-violation reissues per retired instruction (Table 4).
+    #[must_use]
+    pub fn reg_violations_per_retired(&self) -> f64 {
+        ratio(self.reg_violation_reissues, self.retired)
+    }
+
+    /// Misprediction rate over retired predictions (Table 1 analogue).
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        ratio(self.arch_mispredictions, self.predictions)
+    }
+
+    /// Table 3 fractions of retired instructions:
+    /// `(fetch saved, work saved, work discarded, had only fetched)`.
+    #[must_use]
+    pub fn work_saved_fractions(&self) -> (f64, f64, f64, f64) {
+        (
+            ratio(self.fetch_saved, self.retired),
+            ratio(self.work_saved, self.retired),
+            ratio(self.work_discarded, self.retired),
+            ratio(self.only_fetched, self.retired),
+        )
+    }
+
+    /// Average duration of a restart sequence in cycles (Appendix A.1).
+    #[must_use]
+    pub fn avg_restart_cycles(&self) -> f64 {
+        ratio(self.restart_cycles, self.reconverged)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.reconvergence_rate(), 0.0);
+        assert_eq!(s.issues_per_retired(), 0.0);
+        assert_eq!(s.work_saved_fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = Stats {
+            cycles: 100,
+            retired: 450,
+            recoveries: 10,
+            reconverged: 8,
+            removed: 80,
+            inserted: 96,
+            ci_instructions: 400,
+            ci_renamed: 20,
+            issues: 900,
+            predictions: 90,
+            arch_mispredictions: 9,
+            fetch_saved: 45,
+            work_saved: 30,
+            work_discarded: 10,
+            only_fetched: 5,
+            ..Stats::default()
+        };
+        assert!((s.ipc() - 4.5).abs() < 1e-12);
+        assert!((s.reconvergence_rate() - 0.8).abs() < 1e-12);
+        assert!((s.avg_removed() - 10.0).abs() < 1e-12);
+        assert!((s.avg_inserted() - 12.0).abs() < 1e-12);
+        assert!((s.avg_ci() - 50.0).abs() < 1e-12);
+        assert!((s.avg_ci_renamed() - 2.5).abs() < 1e-12);
+        assert!((s.issues_per_retired() - 2.0).abs() < 1e-12);
+        assert!((s.misprediction_rate() - 0.1).abs() < 1e-12);
+        let (fs, ws, wd, of) = s.work_saved_fractions();
+        assert!((fs - 0.1).abs() < 1e-12);
+        assert!((ws - 30.0 / 450.0).abs() < 1e-12);
+        assert!((wd - 10.0 / 450.0).abs() < 1e-12);
+        assert!((of - 5.0 / 450.0).abs() < 1e-12);
+    }
+}

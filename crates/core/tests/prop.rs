@@ -1,0 +1,66 @@
+//! Property tests: for random structured programs, the pipeline must retire
+//! exactly the architectural execution under *every* configuration — the
+//! built-in oracle checker panics on any divergence, so each `simulate` call
+//! is a full end-to-end verification.
+
+use ci_core::{
+    simulate, CompletionModel, PipelineConfig, Preemption, ReconStrategy, RepredictMode,
+};
+use ci_workloads::random_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn base_and_ci_agree_with_emulator(seed in 0u64..10_000, size in 8usize..120) {
+        let p = random_program(seed, size);
+        let b = simulate(&p, PipelineConfig::base(64), 15_000).unwrap();
+        let c = simulate(&p, PipelineConfig::ci(64), 15_000).unwrap();
+        prop_assert_eq!(b.retired, c.retired);
+    }
+
+    #[test]
+    fn completion_models_agree_with_emulator(seed in 0u64..10_000, model in 0usize..4) {
+        let p = random_program(seed, 60);
+        let completion = [
+            CompletionModel::NonSpec,
+            CompletionModel::SpecD,
+            CompletionModel::SpecC,
+            CompletionModel::Spec,
+        ][model];
+        let s = simulate(
+            &p,
+            PipelineConfig { completion, ..PipelineConfig::ci(64) },
+            15_000,
+        ).unwrap();
+        prop_assert!(s.retired > 0);
+    }
+
+    #[test]
+    fn exotic_configs_agree_with_emulator(seed in 0u64..10_000, knob in 0usize..6) {
+        let p = random_program(seed, 70);
+        let cfg = match knob {
+            0 => PipelineConfig { segment: 16, ..PipelineConfig::ci(64) },
+            1 => PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(64) },
+            2 => PipelineConfig { repredict: RepredictMode::None, ..PipelineConfig::ci(64) },
+            3 => PipelineConfig { repredict: RepredictMode::Oracle, ..PipelineConfig::ci(64) },
+            4 => PipelineConfig {
+                recon: ReconStrategy::hardware(true, true, true),
+                ..PipelineConfig::ci(64)
+            },
+            _ => PipelineConfig { oracle_ghr: true, ..PipelineConfig::ci(64) },
+        };
+        let s = simulate(&p, cfg, 15_000).unwrap();
+        prop_assert!(s.retired > 0);
+    }
+
+    #[test]
+    fn tiny_windows_still_verify(seed in 0u64..10_000) {
+        let p = random_program(seed, 50);
+        // Window 17 with width 16: pathological pressure on eviction and
+        // restart-overflow paths.
+        let s = simulate(&p, PipelineConfig::ci(17), 10_000).unwrap();
+        prop_assert!(s.retired > 0);
+    }
+}

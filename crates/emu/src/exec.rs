@@ -1,0 +1,134 @@
+//! Pure instruction semantics, shared by the functional emulator and the
+//! execution-driven pipeline simulator.
+//!
+//! Keeping these as free functions over operand *values* guarantees the
+//! out-of-order simulator and the architectural checker can never disagree
+//! about what an instruction computes — only about *when*.
+
+use ci_isa::{Addr, Op};
+
+/// Result of a non-memory, non-control operation on operand values `a`
+/// (`rs1`), `b` (`rs2`) and the immediate.
+///
+/// Division by zero yields `u64::MAX` (the ISA's defined semantics — no
+/// faults).
+///
+/// # Panics
+/// Panics if `op` is a memory, control or halt operation; callers dispatch on
+/// [`ci_isa::InstClass`] first.
+#[must_use]
+pub fn alu_result(op: Op, a: u64, b: u64, imm: i64) -> u64 {
+    let imm_u = imm as u64;
+    match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div => a.checked_div(b).unwrap_or(u64::MAX),
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Sll => a << (b & 63),
+        Op::Srl => a >> (b & 63),
+        Op::Slt => u64::from((a as i64) < (b as i64)),
+        Op::Sltu => u64::from(a < b),
+        Op::Addi => a.wrapping_add(imm_u),
+        Op::Andi => a & imm_u,
+        Op::Ori => a | imm_u,
+        Op::Xori => a ^ imm_u,
+        Op::Slti => u64::from((a as i64) < imm),
+        Op::Slli => a << (imm_u & 63),
+        Op::Srli => a >> (imm_u & 63),
+        Op::Nop => 0,
+        _ => panic!("alu_result called on non-ALU op {op:?}"),
+    }
+}
+
+/// Whether the conditional branch `op` is taken for operand values `a`, `b`.
+///
+/// # Panics
+/// Panics if `op` is not a conditional branch.
+#[must_use]
+pub fn branch_taken(op: Op, a: u64, b: u64) -> bool {
+    match op {
+        Op::Beq => a == b,
+        Op::Bne => a != b,
+        Op::Blt => (a as i64) < (b as i64),
+        Op::Bge => (a as i64) >= (b as i64),
+        _ => panic!("branch_taken called on non-branch op {op:?}"),
+    }
+}
+
+/// Effective address of a load/store with base value `base` and offset `imm`.
+#[must_use]
+pub fn effective_addr(base: u64, imm: i64) -> Addr {
+    Addr(base.wrapping_add(imm as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(alu_result(Op::Add, 2, 3, 0), 5);
+        assert_eq!(alu_result(Op::Sub, 2, 3, 0), u64::MAX); // wraps
+        assert_eq!(alu_result(Op::Mul, 4, 5, 0), 20);
+        assert_eq!(alu_result(Op::Div, 20, 5, 0), 4);
+        assert_eq!(alu_result(Op::Div, 1, 0, 0), u64::MAX);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(alu_result(Op::And, 0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(alu_result(Op::Or, 0b1100, 0b1010, 0), 0b1110);
+        assert_eq!(alu_result(Op::Xor, 0b1100, 0b1010, 0), 0b0110);
+        assert_eq!(alu_result(Op::Sll, 1, 65, 0), 2); // shift amount masked
+        assert_eq!(alu_result(Op::Srl, 8, 3, 0), 1);
+        assert_eq!(alu_result(Op::Slli, 1, 0, 4), 16);
+        assert_eq!(alu_result(Op::Srli, 16, 0, 4), 1);
+    }
+
+    #[test]
+    fn comparisons_signed_vs_unsigned() {
+        let neg1 = -1i64 as u64;
+        assert_eq!(alu_result(Op::Slt, neg1, 0, 0), 1); // -1 < 0 signed
+        assert_eq!(alu_result(Op::Sltu, neg1, 0, 0), 0); // MAX < 0 unsigned: no
+        assert_eq!(alu_result(Op::Slti, neg1, 0, 5), 1);
+    }
+
+    #[test]
+    fn immediates() {
+        assert_eq!(alu_result(Op::Addi, 10, 0, -3), 7);
+        assert_eq!(alu_result(Op::Andi, 0xff, 0, 0x0f), 0x0f);
+        assert_eq!(alu_result(Op::Ori, 0x1, 0, 0x10), 0x11);
+        assert_eq!(alu_result(Op::Xori, 0x3, 0, 0x1), 0x2);
+    }
+
+    #[test]
+    fn branches() {
+        assert!(branch_taken(Op::Beq, 4, 4));
+        assert!(!branch_taken(Op::Beq, 4, 5));
+        assert!(branch_taken(Op::Bne, 4, 5));
+        assert!(branch_taken(Op::Blt, -2i64 as u64, 1));
+        assert!(!branch_taken(Op::Blt, 1, -2i64 as u64));
+        assert!(branch_taken(Op::Bge, 1, -2i64 as u64));
+    }
+
+    #[test]
+    fn addresses_wrap() {
+        assert_eq!(effective_addr(10, -2), Addr(8));
+        assert_eq!(effective_addr(0, -1), Addr(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ALU")]
+    fn alu_rejects_control() {
+        let _ = alu_result(Op::Beq, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn branch_rejects_alu() {
+        let _ = branch_taken(Op::Add, 0, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Copy-on-write emulation of mispredicted paths.
+
+use crate::emulator::{exec_step, EmuError, ExecCtx};
+use crate::{DynInst, Memory};
+use ci_isa::{Addr, Pc, Program, Reg};
+use std::collections::HashMap;
+
+struct OverlayCtx<'a> {
+    regs: [u64; Reg::COUNT],
+    base: &'a Memory,
+    writes: HashMap<Addr, u64>,
+}
+
+impl ExecCtx for OverlayCtx<'_> {
+    fn read_reg(&self, r: Reg) -> u64 {
+        self.regs[r.number() as usize]
+    }
+    fn write_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.number() as usize] = v;
+        }
+    }
+    fn read_mem(&self, a: Addr) -> u64 {
+        self.writes.get(&a).copied().unwrap_or_else(|| self.base.read(a))
+    }
+    fn write_mem(&mut self, a: Addr, v: u64) {
+        self.writes.insert(a, v);
+    }
+}
+
+/// A copy-on-write fork of a running [`crate::Emulator`], used to execute a
+/// *mispredicted* path with the data values it would really compute.
+///
+/// The fork copies the register file and overlays memory writes on the parent
+/// emulator's memory, so forking is cheap even for large memories. The wrong
+/// path runs until a caller-chosen stopping point — typically the mispredicted
+/// branch's reconvergent PC — or an instruction budget.
+///
+/// Unlike the architecturally correct emulator, a wrong path may compute
+/// garbage control flow; running off the end of the program or exceeding the
+/// budget simply ends the path rather than raising an error.
+#[derive(Debug)]
+pub struct WrongPathEmu<'a> {
+    program: &'a Program,
+    ctx: OverlayCtx<'a>,
+    pc: Pc,
+    halted: bool,
+}
+
+impl std::fmt::Debug for OverlayCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlayCtx")
+            .field("writes", &self.writes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> WrongPathEmu<'a> {
+    pub(crate) fn new(
+        program: &'a Program,
+        regs: [u64; Reg::COUNT],
+        base: &'a Memory,
+        start: Pc,
+    ) -> WrongPathEmu<'a> {
+        WrongPathEmu {
+            program,
+            ctx: OverlayCtx { regs, base, writes: HashMap::new() },
+            pc: start,
+            halted: false,
+        }
+    }
+
+    /// Current wrong-path PC.
+    #[must_use]
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Whether the wrong path executed a `halt` or left the program.
+    #[must_use]
+    pub fn ended(&self) -> bool {
+        self.halted
+    }
+
+    /// Execute one wrong-path instruction. Returns `None` once the path ends
+    /// (halt executed or control flow left the program).
+    pub fn step(&mut self) -> Option<DynInst> {
+        if self.halted {
+            return None;
+        }
+        match exec_step(self.program, self.pc, &mut self.ctx) {
+            Ok((d, halted)) => {
+                self.pc = d.next_pc;
+                self.halted = halted;
+                Some(d)
+            }
+            Err(EmuError::PcOutOfRange(_)) => {
+                self.halted = true;
+                None
+            }
+        }
+    }
+
+    /// Run until `stop(pc)` is true *before* executing the instruction at
+    /// `pc`, the path ends, or `max` instructions have executed.
+    ///
+    /// Returns the wrong-path instructions and whether the stopping predicate
+    /// was reached (as opposed to the budget/end-of-path).
+    pub fn run_until(&mut self, stop: impl Fn(Pc) -> bool, max: usize) -> (Vec<DynInst>, bool) {
+        let mut out = Vec::new();
+        while out.len() < max {
+            if stop(self.pc) {
+                return (out, true);
+            }
+            match self.step() {
+                Some(d) => out.push(d),
+                None => return (out, false),
+            }
+        }
+        (out, stop(self.pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Emulator;
+    use ci_isa::{Asm, Op};
+
+    /// if (r1 == 0) { r2 = 7; } else { r2 = 9; }  r3 = r2 + 1; halt
+    fn diamond() -> Program {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "then");
+        a.li(Reg::R2, 9);
+        a.jump("join");
+        a.label("then").unwrap();
+        a.li(Reg::R2, 7);
+        a.label("join").unwrap();
+        a.addi(Reg::R3, Reg::R2, 1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn wrong_path_computes_wrong_values_without_corrupting_parent() {
+        let p = diamond();
+        let emu = Emulator::new(&p); // r1 == 0, correct path is `then`
+        // Mispredict the branch as not-taken: wrong path starts at pc 1.
+        let mut wp = emu.fork_wrong_path(Pc(1));
+        let join = p.label("join").unwrap();
+        let (path, reached) = wp.run_until(|pc| pc == join, 100);
+        assert!(reached);
+        // Wrong path: li r2, 9; jump join.
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].value, Some(9));
+        assert_eq!(path[1].inst.op, Op::Jump);
+        // Parent state untouched.
+        assert_eq!(emu.reg(Reg::R2), 0);
+        assert_eq!(emu.pc(), Pc(0));
+    }
+
+    #[test]
+    fn wrong_path_memory_is_overlaid() {
+        let mut a = Asm::new();
+        a.word(Addr(0x10), 5);
+        a.store(Reg::R0, Reg::R0, 0x10); // mem[0x10] = 0 on this path
+        a.load(Reg::R1, Reg::R0, 0x10);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let emu = Emulator::new(&p);
+        let mut wp = emu.fork_wrong_path(Pc(0));
+        wp.step();
+        let d = wp.step().unwrap();
+        assert_eq!(d.value, Some(0)); // sees its own store
+        assert_eq!(emu.memory().read(Addr(0x10)), 5); // parent unaffected
+    }
+
+    #[test]
+    fn path_ends_on_halt_and_out_of_range() {
+        let p = diamond();
+        let emu = Emulator::new(&p);
+        let mut wp = emu.fork_wrong_path(Pc(5)); // halt
+        assert!(wp.step().is_some());
+        assert!(wp.ended());
+        assert!(wp.step().is_none());
+
+        let mut wp2 = emu.fork_wrong_path(Pc(99)); // out of range
+        let (path, reached) = wp2.run_until(|_| false, 10);
+        assert!(path.is_empty());
+        assert!(!reached);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut a = Asm::new();
+        a.label("spin").unwrap();
+        a.jump("spin");
+        let p = a.assemble().unwrap();
+        let emu = Emulator::new(&p);
+        let mut wp = emu.fork_wrong_path(Pc(0));
+        let (path, reached) = wp.run_until(|_| false, 5);
+        assert_eq!(path.len(), 5);
+        assert!(!reached);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: execution semantics and wrong-path isolation.
+
+use ci_emu::exec::{alu_result, branch_taken, effective_addr};
+use ci_emu::Emulator;
+use ci_isa::{Op, Pc, Reg};
+use ci_workloads::random_program;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn alu_algebra(a in any::<u64>(), b in any::<u64>(), imm in any::<i64>()) {
+        // Commutativity.
+        prop_assert_eq!(alu_result(Op::Add, a, b, 0), alu_result(Op::Add, b, a, 0));
+        prop_assert_eq!(alu_result(Op::Mul, a, b, 0), alu_result(Op::Mul, b, a, 0));
+        prop_assert_eq!(alu_result(Op::Xor, a, b, 0), alu_result(Op::Xor, b, a, 0));
+        // Xor is self-inverse.
+        prop_assert_eq!(alu_result(Op::Xor, alu_result(Op::Xor, a, b, 0), b, 0), a);
+        // Comparison results are boolean.
+        prop_assert!(alu_result(Op::Slt, a, b, 0) <= 1);
+        prop_assert!(alu_result(Op::Sltu, a, b, 0) <= 1);
+        prop_assert!(alu_result(Op::Slti, a, 0, imm) <= 1);
+        // Immediate forms agree with register forms.
+        prop_assert_eq!(alu_result(Op::Addi, a, 0, imm), alu_result(Op::Add, a, imm as u64, 0));
+    }
+
+    #[test]
+    fn branch_conditions_partition(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_ne!(branch_taken(Op::Beq, a, b), branch_taken(Op::Bne, a, b));
+        prop_assert_ne!(branch_taken(Op::Blt, a, b), branch_taken(Op::Bge, a, b));
+    }
+
+    #[test]
+    fn effective_addr_is_wrapping_add(base in any::<u64>(), imm in any::<i64>()) {
+        prop_assert_eq!(effective_addr(base, imm).0, base.wrapping_add(imm as u64));
+    }
+
+    #[test]
+    fn wrong_path_forks_never_mutate_parent(seed in 0u64..500, steps in 0usize..200, fork_pc in 0u32..50) {
+        let p = random_program(seed, 60);
+        let mut emu = Emulator::new(&p);
+        for _ in 0..steps {
+            if emu.halted() || emu.step().is_err() {
+                break;
+            }
+        }
+        let regs_before: Vec<u64> = Reg::all().map(|r| emu.reg(r)).collect();
+        let pc_before = emu.pc();
+        let mut wp = emu.fork_wrong_path(Pc(fork_pc));
+        let _ = wp.run_until(|_| false, 300);
+        let regs_after: Vec<u64> = Reg::all().map(|r| emu.reg(r)).collect();
+        prop_assert_eq!(regs_before, regs_after);
+        prop_assert_eq!(pc_before, emu.pc());
+    }
+}

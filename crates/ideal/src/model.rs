@@ -1,0 +1,162 @@
+//! Model selection and results.
+
+use ci_isa::LatencyModel;
+use std::fmt;
+
+/// Which of the paper's six idealized machine models to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Oracle branch prediction: no mispredictions (Figure 2a).
+    Oracle,
+    /// Complete squash at every misprediction (Figure 2f).
+    Base,
+    /// No wasted resources, no false dependences (Figure 2b).
+    NwrNfd,
+    /// No wasted resources, false dependences modelled (Figure 2c).
+    NwrFd,
+    /// Wasted resources modelled, false dependences hidden (Figure 2d).
+    WrNfd,
+    /// Both factors modelled — the upper bound for a real implementation
+    /// (Figure 2e).
+    WrFd,
+}
+
+impl ModelKind {
+    /// All six models in the paper's presentation order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Oracle,
+        ModelKind::NwrNfd,
+        ModelKind::NwrFd,
+        ModelKind::WrNfd,
+        ModelKind::WrFd,
+        ModelKind::Base,
+    ];
+
+    /// Whether incorrect control-dependent instructions consume fetch and
+    /// window resources in this model.
+    #[must_use]
+    pub fn wastes_resources(self) -> bool {
+        matches!(self, ModelKind::WrNfd | ModelKind::WrFd)
+    }
+
+    /// Whether false data dependences created by the incorrect path delay
+    /// control-independent instructions in this model.
+    #[must_use]
+    pub fn false_deps(self) -> bool {
+        matches!(self, ModelKind::NwrFd | ModelKind::WrFd)
+    }
+
+    /// Whether control independence is exploited at all.
+    #[must_use]
+    pub fn exploits_ci(self) -> bool {
+        !matches!(self, ModelKind::Oracle | ModelKind::Base)
+    }
+
+    /// The paper's label for the model.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Oracle => "oracle",
+            ModelKind::Base => "base",
+            ModelKind::NwrNfd => "nWR-nFD",
+            ModelKind::NwrFd => "nWR-FD",
+            ModelKind::WrNfd => "WR-nFD",
+            ModelKind::WrFd => "WR-FD",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration for one idealized simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdealConfig {
+    /// Which model to run.
+    pub model: ModelKind,
+    /// Instruction window size (paper sweeps 32…512).
+    pub window: usize,
+    /// Machine width: peak fetch/issue/retire rate (paper: 16).
+    pub width: usize,
+    /// Execution latencies.
+    pub latencies: LatencyModel,
+    /// Perfect-cache access latency in cycles (paper's ideal study: 1).
+    pub cache_latency: u64,
+}
+
+impl Default for IdealConfig {
+    fn default() -> Self {
+        IdealConfig {
+            model: ModelKind::WrFd,
+            window: 256,
+            width: 16,
+            latencies: LatencyModel::new(),
+            cache_latency: 1,
+        }
+    }
+}
+
+/// Results of one idealized simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IdealResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Correct-path instructions retired.
+    pub retired: u64,
+    /// Mispredicted control instructions encountered (0 for `Oracle`).
+    pub mispredictions: u64,
+    /// Wrong-path instructions fetched (0 unless the model wastes resources).
+    pub wrong_path_fetched: u64,
+    /// Control-independent instructions whose eviction (youngest-first
+    /// squash) was forced by a restart needing window space.
+    pub evictions: u64,
+}
+
+impl IdealResult {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_names() {
+        assert!(ModelKind::WrFd.wastes_resources());
+        assert!(ModelKind::WrFd.false_deps());
+        assert!(!ModelKind::NwrNfd.wastes_resources());
+        assert!(!ModelKind::NwrNfd.false_deps());
+        assert!(ModelKind::NwrFd.false_deps());
+        assert!(!ModelKind::Base.exploits_ci());
+        assert!(!ModelKind::Oracle.exploits_ci());
+        assert!(ModelKind::WrNfd.exploits_ci());
+        assert_eq!(ModelKind::ALL.len(), 6);
+        assert_eq!(ModelKind::NwrFd.to_string(), "nWR-FD");
+    }
+
+    #[test]
+    fn ipc_division() {
+        let r = IdealResult { cycles: 10, retired: 45, ..Default::default() };
+        assert!((r.ipc() - 4.5).abs() < 1e-12);
+        assert_eq!(IdealResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn default_config_is_papers() {
+        let c = IdealConfig::default();
+        assert_eq!(c.width, 16);
+        assert_eq!(c.window, 256);
+        assert_eq!(c.cache_latency, 1);
+    }
+}

@@ -1,0 +1,569 @@
+//! The shared cycle-driven engine behind all six idealized models.
+//!
+//! # Model mechanics
+//!
+//! Every dynamic instruction gets a 64-bit *logical key*: correct-path
+//! instruction `i` has key `i << 11`; the `j`-th wrong-path instruction of the
+//! misprediction at `i` has key `(i << 11) | (j + 1)`, placing the incorrect
+//! control-dependent path between its branch and the branch's logical
+//! successor. The window is a key-ordered map; fetch always takes the lowest
+//! *available* unfetched key, where availability encodes the model:
+//!
+//! - `base`: nothing past an unresolved misprediction is available.
+//! - `nWR-*`: the correct control-dependent region is deferred to resolution,
+//!   control-independent keys (at/after the reconvergent instruction) are
+//!   available immediately.
+//! - `WR-*`: wrong-path keys are available until resolution; control
+//!   independent keys become available once the wrong path has been fully
+//!   fetched (the fetch unit reaches the reconvergent point *via* the wrong
+//!   path, as in hardware).
+//!
+//! `FD` models additionally hold back a control-independent instruction whose
+//! source register (or load address) was written by an in-flight wrong path
+//! and whose true producer is older than the mispredicted branch; the repair
+//! completes one cycle after resolution, the best a real redispatch could do.
+//!
+//! If a restart needs window space (more correct control-dependent
+//! instructions than incorrect ones), the youngest instructions are evicted
+//! and refetched later, as Section 3.2.2 of the paper requires. Eviction does
+//! not cascade to already-issued consumers: the evicted instruction's value
+//! was genuinely computed and broadcast before the squash, and recomputation
+//! yields the same value on the correct path.
+//!
+//! Approximations (documented deviations from a hypothetical perfect model):
+//! wrong-path *loads* do not chain through wrong-path stores (address
+//! generation plus cache latency only), branches *inside* a wrong path do not
+//! spawn nested wrong paths, and the `base` model does not charge issue
+//! bandwidth for wrong-path work (a slight advantage to `base`, i.e. a
+//! conservative estimate of control-independence benefit).
+
+use crate::input::{StudyInput, WpDep};
+use crate::model::{IdealConfig, IdealResult, ModelKind};
+use ci_isa::InstClass;
+use std::collections::{BTreeMap, BTreeSet};
+
+const KEY_SHIFT: u64 = 11;
+
+fn ckey(i: u32) -> u64 {
+    u64::from(i) << KEY_SHIFT
+}
+
+fn wkey(branch: u32, j: u32) -> u64 {
+    (u64::from(branch) << KEY_SHIFT) | u64::from(j + 1)
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Item {
+    Correct(u32),
+    Wrong { ev: u32, j: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    item: Item,
+    fetch_cycle: u64,
+    issued: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct EvState {
+    active: bool,
+    wp_fetched: u32,
+    resolve_at: Option<u64>,
+}
+
+struct Sim<'a> {
+    input: &'a StudyInput,
+    cfg: &'a IdealConfig,
+    window: BTreeMap<u64, Slot>,
+    /// Completion cycle per correct instruction (`u64::MAX` = not executed).
+    comp: Vec<u64>,
+    /// Completion cycle per (event, wrong-path index).
+    wcomp: Vec<Vec<u64>>,
+    ev: Vec<EvState>,
+    /// Event indices with `active == true` (small).
+    active: Vec<u32>,
+    /// Unfetched correct indices below the frontier (deferred CD + evicted).
+    pending: BTreeSet<u32>,
+    /// Next never-scheduled correct index.
+    frontier: u32,
+    next_retire: u32,
+    now: u64,
+    retired: u64,
+    wrong_fetched: u64,
+    evictions: u64,
+}
+
+/// Run one idealized model over `input`.
+///
+/// See the crate-level docs for the model semantics and the
+/// [`ModelKind`] table.
+///
+/// # Panics
+/// Panics if the simulation fails to make forward progress (an internal bug,
+/// guarded by a generous cycle cap).
+#[must_use]
+pub fn simulate(input: &StudyInput, config: &IdealConfig) -> IdealResult {
+    let n = input.len() as u32;
+    if n == 0 {
+        return IdealResult::default();
+    }
+    let mut sim = Sim {
+        input,
+        cfg: config,
+        window: BTreeMap::new(),
+        comp: vec![u64::MAX; n as usize],
+        wcomp: input
+            .events
+            .iter()
+            .map(|e| vec![u64::MAX; e.wrong_path.len()])
+            .collect(),
+        ev: vec![EvState::default(); input.events.len()],
+        active: Vec::new(),
+        pending: BTreeSet::new(),
+        frontier: 0,
+        next_retire: 0,
+        now: 0,
+        retired: 0,
+        wrong_fetched: 0,
+        evictions: 0,
+    };
+    sim.run();
+    IdealResult {
+        cycles: sim.now,
+        retired: sim.retired,
+        mispredictions: if config.model == ModelKind::Oracle {
+            0
+        } else {
+            input.mispredictions()
+        },
+        wrong_path_fetched: sim.wrong_fetched,
+        evictions: sim.evictions,
+    }
+}
+
+impl Sim<'_> {
+    fn run(&mut self) {
+        let n = self.input.len() as u64;
+        let cap = 200 * n + 1_000_000;
+        while self.retired < n {
+            self.now += 1;
+            assert!(self.now < cap, "ideal model failed to make progress");
+            self.resolve_events();
+            self.retire();
+            self.issue();
+            self.fetch();
+        }
+    }
+
+    /// Process events whose mispredicted branch completed on a previous
+    /// cycle: squash the wrong path and release the event's constraints.
+    fn resolve_events(&mut self) {
+        let mut i = 0;
+        while i < self.active.len() {
+            let e = self.active[i] as usize;
+            match self.ev[e].resolve_at {
+                Some(c) if c < self.now => {
+                    self.ev[e].active = false;
+                    self.active.swap_remove(i);
+                    // Squash the event's wrong path from the window.
+                    let b = self.input.events[e].branch_idx;
+                    let lo = wkey(b, 0);
+                    let hi = ckey(b + 1);
+                    let keys: Vec<u64> = self.window.range(lo..hi).map(|(k, _)| *k).collect();
+                    for k in keys {
+                        self.window.remove(&k);
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn retire(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some((&k, slot)) = self.window.first_key_value() else { break };
+            let Item::Correct(i) = slot.item else { break };
+            if i != self.next_retire || k != ckey(i) {
+                break;
+            }
+            let c = self.comp[i as usize];
+            if c >= self.now {
+                break;
+            }
+            self.window.pop_first();
+            self.next_retire += 1;
+            self.retired += 1;
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut to_issue: Vec<u64> = Vec::with_capacity(self.cfg.width);
+        for (&k, slot) in &self.window {
+            if issued >= self.cfg.width {
+                break;
+            }
+            if slot.issued || self.now < slot.fetch_cycle + 2 {
+                continue;
+            }
+            if self.ready(slot.item) {
+                to_issue.push(k);
+                issued += 1;
+            }
+        }
+        for k in to_issue {
+            let slot = self.window.get_mut(&k).expect("slot present");
+            slot.issued = true;
+            let item = slot.item;
+            // Completion = last execution cycle; a dependent instruction can
+            // issue (with full bypassing) the following cycle, so 1-cycle ops
+            // chain back-to-back.
+            let comp = self.now + self.exec_latency(item) - 1;
+            match item {
+                Item::Correct(i) => {
+                    self.comp[i as usize] = comp;
+                    // A mispredicted branch resolves at completion.
+                    if self.cfg.model != ModelKind::Oracle {
+                        if let Some(e) = self.input.event_at.get(&i) {
+                            self.ev[*e as usize].resolve_at = Some(comp);
+                        }
+                    }
+                }
+                Item::Wrong { ev, j } => {
+                    self.wcomp[ev as usize][j as usize] = comp;
+                }
+            }
+        }
+    }
+
+    fn exec_latency(&self, item: Item) -> u64 {
+        let class = match item {
+            Item::Correct(i) => self.input.trace[i as usize].class(),
+            Item::Wrong { ev, j } => self.input.events[ev as usize].wrong_path[j as usize].class,
+        };
+        let base = self.cfg.latencies.execute(class);
+        if class == InstClass::Load {
+            base + self.cfg.cache_latency
+        } else {
+            base
+        }
+    }
+
+    fn ready(&self, item: Item) -> bool {
+        match item {
+            Item::Correct(i) => {
+                let deps = &self.input.deps[i as usize];
+                for src in deps.srcs.iter().flatten() {
+                    if let (_, Some(p)) = src {
+                        if self.comp[*p as usize] >= self.now {
+                            return false;
+                        }
+                    }
+                }
+                if let Some(p) = deps.mem {
+                    if self.comp[p as usize] >= self.now {
+                        return false;
+                    }
+                }
+                if self.cfg.model.false_deps() && !self.false_dep_clear(i) {
+                    return false;
+                }
+                true
+            }
+            Item::Wrong { ev, j } => {
+                let w = &self.input.events[ev as usize].wrong_path[j as usize];
+                for dep in w.deps.iter().flatten() {
+                    let ok = match dep {
+                        WpDep::Correct(p) => self.comp[*p as usize] < self.now,
+                        WpDep::Wrong(jj) => self.wcomp[ev as usize][*jj as usize] < self.now,
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// FD models: is `i` free of false data dependences from in-flight wrong
+    /// paths? (Repair completes one cycle after resolution; resolved events
+    /// have already left `active` by then.)
+    fn false_dep_clear(&self, i: u32) -> bool {
+        for &e in &self.active {
+            let ev = &self.input.events[e as usize];
+            let b = ev.branch_idx;
+            let Some(r) = ev.recon_idx else { continue };
+            if i < r || b >= i {
+                continue; // not control independent w.r.t. this event
+            }
+            let deps = &self.input.deps[i as usize];
+            for src in deps.srcs.iter().flatten() {
+                let (reg, prod) = *src;
+                if ev.wrong_writes(reg) && prod.is_none_or(|p| p <= b) {
+                    return false;
+                }
+            }
+            let d = &self.input.trace[i as usize];
+            if d.class() == InstClass::Load {
+                let a = d.addr.expect("load has addr");
+                if ev.wrong_stores_to(a) && deps.mem.is_none_or(|p| p <= b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Is correct index `i` fetchable right now given in-flight
+    /// mispredictions?
+    fn correct_available(&self, i: u32) -> bool {
+        for &e in &self.active {
+            let ev = &self.input.events[e as usize];
+            let b = ev.branch_idx;
+            if i <= b {
+                continue;
+            }
+            if !self.cfg.model.exploits_ci() {
+                return false;
+            }
+            match ev.recon_idx {
+                None => return false,
+                Some(r) => {
+                    if i < r {
+                        return false; // deferred correct CD
+                    }
+                    if self.cfg.model.wastes_resources()
+                        && (self.ev[e as usize].wp_fetched as usize) < ev.wrong_path.len()
+                    {
+                        return false; // fetch hasn't walked the wrong path yet
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Lowest fetchable item, if any.
+    fn next_fetch_item(&self) -> Option<(u64, Item)> {
+        // Best correct candidate: scan pending (deferred/evicted) first.
+        let mut best: Option<(u64, Item)> = None;
+        for &i in &self.pending {
+            if self.correct_available(i) {
+                best = Some((ckey(i), Item::Correct(i)));
+                break;
+            }
+        }
+        if best.is_none() && self.frontier < self.input.len() as u32 {
+            let f = self.frontier;
+            if self.correct_available(f) {
+                best = Some((ckey(f), Item::Correct(f)));
+            }
+        }
+        // Wrong-path candidates (WR models): lowest partial wrong path.
+        if self.cfg.model.wastes_resources() {
+            for &e in &self.active {
+                let ev = &self.input.events[e as usize];
+                let f = self.ev[e as usize].wp_fetched;
+                if (f as usize) < ev.wrong_path.len() {
+                    let k = wkey(ev.branch_idx, f);
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, Item::Wrong { ev: e, j: f }));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn fetch(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some((k, item)) = self.next_fetch_item() else { break };
+            // Window capacity: evict the youngest entry if it is younger than
+            // the incoming instruction (a restart overflowing the window);
+            // otherwise stall.
+            if self.window.len() >= self.cfg.window {
+                let (&maxk, _) = self.window.last_key_value().expect("window non-empty");
+                if maxk <= k {
+                    break;
+                }
+                let victim = self.window.remove(&maxk).expect("present");
+                match victim.item {
+                    Item::Correct(vi) => {
+                        self.comp[vi as usize] = u64::MAX;
+                        self.pending.insert(vi);
+                        self.evictions += 1;
+                    }
+                    Item::Wrong { .. } => {
+                        // Squashed outright; wrong-path work is never refetched.
+                    }
+                }
+            }
+
+            self.window.insert(
+                k,
+                Slot { item, fetch_cycle: self.now, issued: false },
+            );
+
+            match item {
+                Item::Correct(i) => {
+                    self.pending.remove(&i);
+                    if i == self.frontier {
+                        self.frontier += 1;
+                    }
+                    // Activate the misprediction event, defer its correct CD
+                    // region, and jump the frontier to the reconvergent point.
+                    if self.cfg.model != ModelKind::Oracle {
+                        if let Some(&e) = self.input.event_at.get(&i) {
+                            self.ev[e as usize].active = true;
+                            self.active.push(e);
+                            if self.cfg.model.exploits_ci() {
+                                if let Some(r) = self.input.events[e as usize].recon_idx {
+                                    for cd in (i + 1)..r {
+                                        if cd >= self.frontier {
+                                            self.pending.insert(cd);
+                                        }
+                                    }
+                                    self.frontier = self.frontier.max(r);
+                                }
+                            }
+                        }
+                    }
+                }
+                Item::Wrong { ev, .. } => {
+                    self.ev[ev as usize].wp_fetched += 1;
+                    self.wrong_fetched += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StudyInput;
+    use ci_isa::{Asm, Program, Reg};
+    use ci_workloads::{random_program, Workload, WorkloadParams};
+
+    fn run(input: &StudyInput, model: ModelKind, window: usize) -> IdealResult {
+        simulate(
+            input,
+            &IdealConfig { model, window, ..IdealConfig::default() },
+        )
+    }
+
+    fn straight_line() -> Program {
+        let mut a = Asm::new();
+        for _ in 0..64 {
+            a.addi(Reg::R1, Reg::R1, 1);
+        }
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn serial_chain_is_one_per_cycle() {
+        // 64 dependent addis: issue is fully serial; IPC ≈ 1 regardless of
+        // model (no branches at all).
+        let p = straight_line();
+        let input = StudyInput::build(&p, 1000).unwrap();
+        for model in ModelKind::ALL {
+            let r = run(&input, model, 256);
+            assert_eq!(r.retired, 65);
+            assert!(
+                (60..=80).contains(&r.cycles),
+                "{model}: {} cycles",
+                r.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn independent_ops_reach_width() {
+        // 16 independent chains: should approach the machine width.
+        let mut a = Asm::new();
+        for rep in 0..64 {
+            for i in 1..=16u8 {
+                let r = Reg::try_from(i).unwrap();
+                a.addi(r, r, i64::from(rep));
+            }
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let input = StudyInput::build(&p, 10_000).unwrap();
+        let r = run(&input, ModelKind::Oracle, 512);
+        assert!(r.ipc() > 8.0, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn all_instructions_retire_on_every_model_and_window() {
+        for seed in [1, 2, 3] {
+            let p = random_program(seed, 60);
+            let input = StudyInput::build(&p, 50_000).unwrap();
+            for model in ModelKind::ALL {
+                for window in [16, 64, 256] {
+                    let r = run(&input, model, window);
+                    assert_eq!(
+                        r.retired,
+                        input.len() as u64,
+                        "seed {seed} {model} w{window}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_dominance_relations() {
+        // oracle >= nWR-nFD >= nWR-FD >= base (roughly; allow tiny slack for
+        // the legitimate case where out-of-order fetch beats oracle, which
+        // the paper notes can happen).
+        let p = Workload::GoLike.build(&WorkloadParams { scale: 300, seed: 9 });
+        let input = StudyInput::build(&p, 50_000).unwrap();
+        let ipc = |m| run(&input, m, 256).ipc();
+        let oracle = ipc(ModelKind::Oracle);
+        let nwr_nfd = ipc(ModelKind::NwrNfd);
+        let nwr_fd = ipc(ModelKind::NwrFd);
+        let wr_fd = ipc(ModelKind::WrFd);
+        let base = ipc(ModelKind::Base);
+        assert!(oracle >= nwr_nfd * 0.98, "oracle {oracle} nwr_nfd {nwr_nfd}");
+        assert!(nwr_nfd >= nwr_fd * 0.999, "nwr_nfd {nwr_nfd} nwr_fd {nwr_fd}");
+        assert!(nwr_fd >= base * 0.999, "nwr_fd {nwr_fd} base {base}");
+        assert!(wr_fd >= base * 0.999, "wr_fd {wr_fd} base {base}");
+        assert!(oracle > base, "mispredictions must cost something");
+    }
+
+    #[test]
+    fn oracle_monotonic_in_window() {
+        let p = Workload::JpegLike.build(&WorkloadParams { scale: 60, seed: 4 });
+        let input = StudyInput::build(&p, 50_000).unwrap();
+        let mut last = 0.0;
+        for w in [32, 64, 128, 256] {
+            let ipc = run(&input, ModelKind::Oracle, w).ipc();
+            assert!(ipc >= last * 0.999, "window {w}: {ipc} < {last}");
+            last = ipc;
+        }
+    }
+
+    #[test]
+    fn wrong_path_fetch_only_in_wr_models() {
+        let p = Workload::GoLike.build(&WorkloadParams { scale: 200, seed: 5 });
+        let input = StudyInput::build(&p, 30_000).unwrap();
+        assert!(input.mispredictions() > 0);
+        assert_eq!(run(&input, ModelKind::NwrNfd, 256).wrong_path_fetched, 0);
+        assert_eq!(run(&input, ModelKind::Base, 256).wrong_path_fetched, 0);
+        assert!(run(&input, ModelKind::WrFd, 256).wrong_path_fetched > 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let input = StudyInput::build(&p, 0).unwrap();
+        let r = run(&input, ModelKind::WrFd, 64);
+        assert_eq!(r.retired, 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! A small assembler: builds [`Program`]s with symbolic labels.
+
+use crate::{Addr, Inst, Op, Pc, Program, Reg};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or assembling a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// The same label was bound twice.
+    DuplicateLabel(String),
+    /// A referenced label was never bound.
+    UndefinedLabel(String),
+    /// A register number outside `0..32` was used.
+    BadRegister(u8),
+    /// `assemble` was called on a program with no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "label `{l}` bound more than once"),
+            AsmError::UndefinedLabel(l) => write!(f, "label `{l}` referenced but never bound"),
+            AsmError::BadRegister(n) => write!(f, "register number {n} out of range"),
+            AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// A branch/jump target: either an already resolved absolute [`Pc`] or a
+/// symbolic label resolved at [`Asm::assemble`] time.
+///
+/// Constructed implicitly from `&str` (label) or [`Pc`] arguments to the
+/// branch/jump emitters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// An absolute, already-resolved PC.
+    Abs(Pc),
+    /// A symbolic label.
+    Label(String),
+}
+
+impl From<&str> for Target {
+    fn from(s: &str) -> Self {
+        Target::Label(s.to_owned())
+    }
+}
+
+impl From<String> for Target {
+    fn from(s: String) -> Self {
+        Target::Label(s)
+    }
+}
+
+impl From<&String> for Target {
+    fn from(s: &String) -> Self {
+        Target::Label(s.clone())
+    }
+}
+
+impl From<Pc> for Target {
+    fn from(pc: Pc) -> Self {
+        Target::Abs(pc)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    inst: Inst,
+    target: Option<Target>,
+}
+
+#[derive(Clone, Debug)]
+enum DataWord {
+    Value(u64),
+    LabelPc(String),
+}
+
+/// Builder for [`Program`]s.
+///
+/// Instruction-emitting methods append one instruction each and return the
+/// builder for chaining where that reads well. Labels are bound with
+/// [`Asm::label`] and may be referenced before they are bound; everything is
+/// resolved by [`Asm::assemble`].
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insts: Vec<Pending>,
+    labels: BTreeMap<String, Pc>,
+    indirect_hints: BTreeMap<Pc, Vec<Target>>,
+    data: Vec<(Addr, DataWord)>,
+    entry: Option<Target>,
+}
+
+impl Asm {
+    /// Create an empty builder.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        Pc(self.insts.len() as u32)
+    }
+
+    /// Bind `name` to the current position.
+    ///
+    /// # Errors
+    /// Returns [`AsmError::DuplicateLabel`] if `name` is already bound.
+    pub fn label(&mut self, name: &str) -> Result<Pc, AsmError> {
+        let pc = self.here();
+        if self.labels.insert(name.to_owned(), pc).is_some() {
+            return Err(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        Ok(pc)
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(Pending { inst, target: None });
+        self
+    }
+
+    fn push_target(&mut self, inst: Inst, target: Target) -> &mut Self {
+        self.insts.push(Pending { inst, target: Some(target) });
+        self
+    }
+
+    fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst { op, rd, rs1, rs2, imm: 0 })
+    }
+
+    fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst { op, rd, rs1, rs2: Reg::R0, imm })
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Add, rd, rs1, rs2)
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Sub, rd, rs1, rs2)
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Mul, rd, rs1, rs2)
+    }
+    /// `rd = rs1 / rs2` (unsigned; `u64::MAX` on divide-by-zero)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Div, rd, rs1, rs2)
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::And, rd, rs1, rs2)
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Or, rd, rs1, rs2)
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Xor, rd, rs1, rs2)
+    }
+    /// `rd = rs1 << (rs2 & 63)`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Sll, rd, rs1, rs2)
+    }
+    /// `rd = rs1 >> (rs2 & 63)`
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Srl, rd, rs1, rs2)
+    }
+    /// `rd = (rs1 as i64) < (rs2 as i64)`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Slt, rd, rs1, rs2)
+    }
+    /// `rd = rs1 < rs2` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.rrr(Op::Sltu, rd, rs1, rs2)
+    }
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Addi, rd, rs1, imm)
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Andi, rd, rs1, imm)
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Ori, rd, rs1, imm)
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Xori, rd, rs1, imm)
+    }
+    /// `rd = (rs1 as i64) < imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Slti, rd, rs1, imm)
+    }
+    /// `rd = rs1 << (imm & 63)`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Slli, rd, rs1, imm)
+    }
+    /// `rd = rs1 >> (imm & 63)`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Srli, rd, rs1, imm)
+    }
+    /// Pseudo-op: `rd = imm` (an `addi` from `r0`).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.addi(rd, Reg::R0, imm)
+    }
+    /// Pseudo-op: `rd = rs` (an `addi` of zero).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+    /// `rd = mem[rs1 + imm]`
+    pub fn load(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.rri(Op::Load, rd, rs1, imm)
+    }
+    /// `mem[rs1 + imm] = src`
+    pub fn store(&mut self, src: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst { op: Op::Store, rd: Reg::R0, rs1, rs2: src, imm })
+    }
+
+    fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
+        self.push_target(Inst { op, rd: Reg::R0, rs1, rs2, imm: 0 }, target.into())
+    }
+
+    /// Branch to `target` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
+        self.branch(Op::Beq, rs1, rs2, target)
+    }
+    /// Branch to `target` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
+        self.branch(Op::Bne, rs1, rs2, target)
+    }
+    /// Branch to `target` if `(rs1 as i64) < (rs2 as i64)`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
+        self.branch(Op::Blt, rs1, rs2, target)
+    }
+    /// Branch to `target` if `(rs1 as i64) >= (rs2 as i64)`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
+        self.branch(Op::Bge, rs1, rs2, target)
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jump(&mut self, target: impl Into<Target>) -> &mut Self {
+        self.push_target(
+            Inst { op: Op::Jump, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R0, imm: 0 },
+            target.into(),
+        )
+    }
+
+    /// Call: `ra = pc + 1`, jump to `target`.
+    pub fn call(&mut self, target: impl Into<Target>) -> &mut Self {
+        self.push_target(
+            Inst { op: Op::Jal, rd: Reg::RA, rs1: Reg::R0, rs2: Reg::R0, imm: 0 },
+            target.into(),
+        )
+    }
+
+    /// Return: `jalr r0, ra, 0`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst { op: Op::Jalr, rd: Reg::R0, rs1: Reg::RA, rs2: Reg::R0, imm: 0 })
+    }
+
+    /// Indirect jump to `rs1 + imm`, writing the return address to `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst { op: Op::Jalr, rd, rs1, rs2: Reg::R0, imm })
+    }
+
+    /// Indirect jump with a software hint listing its possible targets (the
+    /// compiler-assisted channel used for jump-table dispatch).
+    pub fn jalr_hinted(&mut self, rd: Reg, rs1: Reg, imm: i64, targets: &[&str]) -> &mut Self {
+        let pc = self.here();
+        self.indirect_hints
+            .insert(pc, targets.iter().map(|t| Target::from(*t)).collect());
+        self.jalr(rd, rs1, imm)
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst { op: Op::Halt, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R0, imm: 0 })
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::nop())
+    }
+
+    /// Place `value` at data address `addr` in the initial memory image.
+    pub fn word(&mut self, addr: Addr, value: u64) -> &mut Self {
+        self.data.push((addr, DataWord::Value(value)));
+        self
+    }
+
+    /// Place consecutive `values` starting at `addr`.
+    pub fn words(&mut self, addr: Addr, values: &[u64]) -> &mut Self {
+        for (i, v) in values.iter().enumerate() {
+            self.word(addr.offset(i as u64), *v);
+        }
+        self
+    }
+
+    /// Place the PC of `label` (as a `u64`) at `addr` — used to build jump
+    /// tables in data memory.
+    pub fn word_label(&mut self, addr: Addr, label: &str) -> &mut Self {
+        self.data.push((addr, DataWord::LabelPc(label.to_owned())));
+        self
+    }
+
+    /// Set the entry point to `label` (default: `Pc(0)`).
+    pub fn entry(&mut self, label: &str) -> &mut Self {
+        self.entry = Some(Target::from(label));
+        self
+    }
+
+    fn resolve(&self, target: &Target) -> Result<Pc, AsmError> {
+        match target {
+            Target::Abs(pc) => Ok(*pc),
+            Target::Label(name) => self
+                .labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(name.clone())),
+        }
+    }
+
+    /// Resolve all labels and produce the final [`Program`].
+    ///
+    /// # Errors
+    /// Returns [`AsmError::UndefinedLabel`] for dangling references and
+    /// [`AsmError::EmptyProgram`] if no instructions were emitted.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if self.insts.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        let mut insts = Vec::with_capacity(self.insts.len());
+        for p in &self.insts {
+            let mut inst = p.inst;
+            if let Some(t) = &p.target {
+                inst.imm = i64::from(self.resolve(t)?.0);
+            }
+            insts.push(inst);
+        }
+        let mut hints = BTreeMap::new();
+        for (pc, targets) in &self.indirect_hints {
+            let resolved: Result<Vec<Pc>, AsmError> =
+                targets.iter().map(|t| self.resolve(t)).collect();
+            hints.insert(*pc, resolved?);
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for (addr, w) in &self.data {
+            let v = match w {
+                DataWord::Value(v) => *v,
+                DataWord::LabelPc(l) => u64::from(self.resolve(&Target::Label(l.clone()))?.0),
+            };
+            data.push((*addr, v));
+        }
+        let entry = match &self.entry {
+            Some(t) => self.resolve(t)?,
+            None => Pc(0),
+        };
+        Ok(Program::from_parts(insts, entry, self.labels.clone(), hints, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstClass;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.beq(Reg::R1, Reg::R0, "end"); // forward reference
+        a.label("top").unwrap();
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.bne(Reg::R1, Reg::R0, "top"); // backward reference
+        a.label("end").unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(Pc(0)).unwrap().static_target(), Some(Pc(3)));
+        assert_eq!(p.fetch(Pc(2)).unwrap().static_target(), Some(Pc(1)));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Asm::new();
+        a.label("x").unwrap();
+        assert_eq!(a.label("x"), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Asm::new();
+        a.jump("nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Asm::new().assemble(), Err(AsmError::EmptyProgram));
+    }
+
+    #[test]
+    fn entry_point() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("main").unwrap();
+        a.halt();
+        a.entry("main");
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), Pc(1));
+    }
+
+    #[test]
+    fn jump_table_hints_and_data_labels() {
+        let mut a = Asm::new();
+        a.load(Reg::R1, Reg::R0, 0x100);
+        a.jalr_hinted(Reg::R0, Reg::R1, 0, &["case_a", "case_b"]);
+        a.label("case_a").unwrap();
+        a.halt();
+        a.label("case_b").unwrap();
+        a.halt();
+        a.word_label(Addr(0x100), "case_b");
+        let p = a.assemble().unwrap();
+        assert_eq!(p.indirect_targets(Pc(1)), &[Pc(2), Pc(3)]);
+        assert_eq!(p.data(), &[(Addr(0x100), 3)]);
+    }
+
+    #[test]
+    fn pseudo_ops_expand() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 7).mv(Reg::R2, Reg::R1).ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(Pc(0)).unwrap().op, Op::Addi);
+        assert_eq!(p.fetch(Pc(1)).unwrap().sources().collect::<Vec<_>>(), vec![Reg::R1]);
+        assert_eq!(p.fetch(Pc(2)).unwrap().class(), InstClass::Return);
+    }
+
+    #[test]
+    fn abs_pc_targets_work() {
+        let mut a = Asm::new();
+        a.jump(Pc(0));
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(Pc(0)).unwrap().static_target(), Some(Pc(0)));
+    }
+
+    #[test]
+    fn words_places_consecutively() {
+        let mut a = Asm::new();
+        a.nop();
+        a.words(Addr(8), &[1, 2, 3]);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.data(), &[(Addr(8), 1), (Addr(9), 2), (Addr(10), 3)]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Instructions, opcodes and instruction classes.
+
+use crate::{Pc, Reg};
+use std::fmt;
+
+/// Operation codes of the ISA.
+///
+/// Conditional branches and direct jumps carry an absolute target [`Pc`] in
+/// the instruction's immediate field (the assembler resolves labels to
+/// absolute targets). Indirect control flow (`Jalr`) takes its target from a
+/// register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `rd = rs1 + rs2`
+    Add,
+    /// `rd = rs1 - rs2`
+    Sub,
+    /// `rd = rs1 * rs2` (3-cycle class)
+    Mul,
+    /// `rd = rs1 / rs2` unsigned; `u64::MAX` on division by zero (12-cycle class)
+    Div,
+    /// `rd = rs1 & rs2`
+    And,
+    /// `rd = rs1 | rs2`
+    Or,
+    /// `rd = rs1 ^ rs2`
+    Xor,
+    /// `rd = rs1 << (rs2 & 63)`
+    Sll,
+    /// `rd = rs1 >> (rs2 & 63)` (logical)
+    Srl,
+    /// `rd = (rs1 as i64) < (rs2 as i64)`
+    Slt,
+    /// `rd = rs1 < rs2` (unsigned)
+    Sltu,
+    /// `rd = rs1 + imm`
+    Addi,
+    /// `rd = rs1 & imm`
+    Andi,
+    /// `rd = rs1 | imm`
+    Ori,
+    /// `rd = rs1 ^ imm`
+    Xori,
+    /// `rd = (rs1 as i64) < imm`
+    Slti,
+    /// `rd = rs1 << (imm & 63)`
+    Slli,
+    /// `rd = rs1 >> (imm & 63)` (logical)
+    Srli,
+    /// `rd = mem[rs1 + imm]`
+    Load,
+    /// `mem[rs1 + imm] = rs2`
+    Store,
+    /// branch to target if `rs1 == rs2`
+    Beq,
+    /// branch to target if `rs1 != rs2`
+    Bne,
+    /// branch to target if `(rs1 as i64) < (rs2 as i64)`
+    Blt,
+    /// branch to target if `(rs1 as i64) >= (rs2 as i64)`
+    Bge,
+    /// unconditional direct jump to target
+    Jump,
+    /// call: `rd = pc + 1`, jump to target
+    Jal,
+    /// indirect: `rd = pc + 1`, jump to `rs1 + imm`. With `rd == r0`,
+    /// `rs1 == ra`, `imm == 0` this is the canonical return instruction.
+    Jalr,
+    /// stop the machine
+    Halt,
+    /// no operation
+    Nop,
+}
+
+/// Coarse instruction classification used by timing models, predictors and
+/// statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation (including `Nop`).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call (`jal`).
+    Call,
+    /// Canonical subroutine return (`jalr r0, ra, 0`).
+    Return,
+    /// Indirect jump or indirect call (non-return `jalr`).
+    IndirectJump,
+    /// Machine halt.
+    Halt,
+}
+
+impl InstClass {
+    /// Whether instructions of this class redirect control flow
+    /// (conditionally or unconditionally).
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            InstClass::CondBranch
+                | InstClass::Jump
+                | InstClass::Call
+                | InstClass::Return
+                | InstClass::IndirectJump
+        )
+    }
+
+    /// Whether the next PC of this class is not known at decode time: either a
+    /// conditional branch (direction unknown) or indirect control flow (target
+    /// unknown).
+    #[must_use]
+    pub fn needs_prediction(self) -> bool {
+        matches!(
+            self,
+            InstClass::CondBranch | InstClass::Return | InstClass::IndirectJump
+        )
+    }
+
+    /// Whether this class accesses data memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstClass::IntAlu => "alu",
+            InstClass::IntMul => "mul",
+            InstClass::IntDiv => "div",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::CondBranch => "branch",
+            InstClass::Jump => "jump",
+            InstClass::Call => "call",
+            InstClass::Return => "return",
+            InstClass::IndirectJump => "ijump",
+            InstClass::Halt => "halt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded instruction.
+///
+/// All operand fields are always present; operations that do not use a field
+/// ignore it (the constructors on [`crate::Asm`] set unused fields to `r0` /
+/// zero). For branches and direct jumps, `imm` holds the absolute target PC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation code.
+    pub op: Op,
+    /// Destination register (`r0` when unused; writes to `r0` are discarded).
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate operand, or the absolute branch/jump target for control ops.
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A canonical `nop`.
+    #[must_use]
+    pub fn nop() -> Inst {
+        Inst {
+            op: Op::Nop,
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            rs2: Reg::R0,
+            imm: 0,
+        }
+    }
+
+    /// The instruction's class. See [`InstClass`].
+    #[must_use]
+    pub fn class(&self) -> InstClass {
+        match self.op {
+            Op::Mul => InstClass::IntMul,
+            Op::Div => InstClass::IntDiv,
+            Op::Load => InstClass::Load,
+            Op::Store => InstClass::Store,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge => InstClass::CondBranch,
+            Op::Jump => InstClass::Jump,
+            Op::Jal => InstClass::Call,
+            Op::Jalr => {
+                if self.rd == Reg::R0 && self.rs1 == Reg::RA && self.imm == 0 {
+                    InstClass::Return
+                } else {
+                    InstClass::IndirectJump
+                }
+            }
+            Op::Halt => InstClass::Halt,
+            _ => InstClass::IntAlu,
+        }
+    }
+
+    /// The architectural destination register, if this instruction writes one.
+    ///
+    /// Writes to `r0` are architectural no-ops and reported as `None`.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        let rd = match self.op {
+            Op::Store | Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Jump | Op::Halt | Op::Nop => {
+                return None
+            }
+            _ => self.rd,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The architectural source registers read by this instruction.
+    ///
+    /// `r0` sources are omitted (their value is constant).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> {
+        let (a, b) = match self.op {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Sll
+            | Op::Srl
+            | Op::Slt
+            | Op::Sltu => (Some(self.rs1), Some(self.rs2)),
+            Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Slli | Op::Srli | Op::Load => {
+                (Some(self.rs1), None)
+            }
+            Op::Store => (Some(self.rs1), Some(self.rs2)),
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge => (Some(self.rs1), Some(self.rs2)),
+            Op::Jalr => (Some(self.rs1), None),
+            Op::Jump | Op::Jal | Op::Halt | Op::Nop => (None, None),
+        };
+        [a, b].into_iter().flatten().filter(|r| !r.is_zero())
+    }
+
+    /// For branches, direct jumps and calls: the statically encoded target.
+    #[must_use]
+    pub fn static_target(&self) -> Option<Pc> {
+        match self.op {
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Jump | Op::Jal => Some(Pc(self.imm as u32)),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a conditional branch whose target is at or before its
+    /// own PC (a loop-closing, "backward" branch as seen by a decoder).
+    #[must_use]
+    pub fn is_backward_branch(&self, pc: Pc) -> bool {
+        self.class() == InstClass::CondBranch
+            && self.static_target().is_some_and(|t| t <= pc)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::And | Op::Or | Op::Xor | Op::Sll
+            | Op::Srl | Op::Slt | Op::Sltu => write!(
+                f,
+                "{} {}, {}, {}",
+                format!("{:?}", self.op).to_lowercase(),
+                self.rd,
+                self.rs1,
+                self.rs2
+            ),
+            Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Slli | Op::Srli => write!(
+                f,
+                "{} {}, {}, {}",
+                format!("{:?}", self.op).to_lowercase(),
+                self.rd,
+                self.rs1,
+                self.imm
+            ),
+            Op::Load => write!(f, "load {}, {}({})", self.rd, self.imm, self.rs1),
+            Op::Store => write!(f, "store {}, {}({})", self.rs2, self.imm, self.rs1),
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge => write!(
+                f,
+                "{} {}, {}, @{}",
+                format!("{:?}", self.op).to_lowercase(),
+                self.rs1,
+                self.rs2,
+                self.imm
+            ),
+            Op::Jump => write!(f, "jump @{}", self.imm),
+            Op::Jal => write!(f, "jal {}, @{}", self.rd, self.imm),
+            Op::Jalr => {
+                if self.class() == InstClass::Return {
+                    write!(f, "ret")
+                } else {
+                    write!(f, "jalr {}, {}({})", self.rd, self.imm, self.rs1)
+                }
+            }
+            Op::Halt => write!(f, "halt"),
+            Op::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).class(), InstClass::IntAlu);
+        assert_eq!(inst(Op::Mul, Reg::R1, Reg::R2, Reg::R3, 0).class(), InstClass::IntMul);
+        assert_eq!(inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).class(), InstClass::Load);
+        assert_eq!(inst(Op::Beq, Reg::R0, Reg::R1, Reg::R2, 7).class(), InstClass::CondBranch);
+        assert_eq!(inst(Op::Jal, Reg::RA, Reg::R0, Reg::R0, 7).class(), InstClass::Call);
+        let ret = inst(Op::Jalr, Reg::R0, Reg::RA, Reg::R0, 0);
+        assert_eq!(ret.class(), InstClass::Return);
+        let ij = inst(Op::Jalr, Reg::R0, Reg::R5, Reg::R0, 0);
+        assert_eq!(ij.class(), InstClass::IndirectJump);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstClass::CondBranch.is_control());
+        assert!(InstClass::CondBranch.needs_prediction());
+        assert!(!InstClass::Jump.needs_prediction());
+        assert!(InstClass::Return.needs_prediction());
+        assert!(InstClass::Load.is_mem());
+        assert!(!InstClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = inst(Op::Add, Reg::R1, Reg::R2, Reg::R0, 0);
+        assert_eq!(i.dest(), Some(Reg::R1));
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg::R2]);
+
+        let store = inst(Op::Store, Reg::R0, Reg::R2, Reg::R3, 4);
+        assert_eq!(store.dest(), None);
+        assert_eq!(store.sources().collect::<Vec<_>>(), vec![Reg::R2, Reg::R3]);
+
+        // Writes to r0 are discarded.
+        let z = inst(Op::Add, Reg::R0, Reg::R1, Reg::R2, 0);
+        assert_eq!(z.dest(), None);
+    }
+
+    #[test]
+    fn static_targets_and_backward() {
+        let b = inst(Op::Bne, Reg::R0, Reg::R1, Reg::R0, 3);
+        assert_eq!(b.static_target(), Some(Pc(3)));
+        assert!(b.is_backward_branch(Pc(10)));
+        assert!(!b.is_backward_branch(Pc(1)));
+        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).static_target(), None);
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).to_string(), "add r1, r2, r3");
+        assert_eq!(inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).to_string(), "load r1, 8(r2)");
+        assert_eq!(inst(Op::Jalr, Reg::R0, Reg::RA, Reg::R0, 0).to_string(), "ret");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+}

@@ -1,0 +1,84 @@
+//! Execution latency model.
+
+use crate::InstClass;
+
+/// Execution latencies (in cycles) per instruction class.
+///
+/// Loads and stores are split into address generation (modelled here) plus a
+/// cache access whose latency the memory system of each simulator supplies;
+/// [`LatencyModel::execute`] therefore reports only the address-generation
+/// component for memory operations.
+///
+/// ```
+/// use ci_isa::{InstClass, LatencyModel};
+/// let lat = LatencyModel::default();
+/// assert_eq!(lat.execute(InstClass::IntAlu), 1);
+/// assert_eq!(lat.execute(InstClass::IntMul), 3);
+/// assert_eq!(lat.execute(InstClass::Load), 1); // address generation only
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LatencyModel {
+    /// Single-cycle integer operations (ALU, branches, jumps, halt, nop).
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide.
+    pub int_div: u64,
+    /// Address generation for loads and stores.
+    pub addr_gen: u64,
+}
+
+impl LatencyModel {
+    /// The paper's latencies: 1-cycle ALU/address generation, 3-cycle
+    /// multiply, 12-cycle divide.
+    #[must_use]
+    pub fn new() -> LatencyModel {
+        LatencyModel {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 12,
+            addr_gen: 1,
+        }
+    }
+
+    /// Execution latency of `class`, excluding any cache access for memory
+    /// operations (address generation only).
+    #[must_use]
+    pub fn execute(&self, class: InstClass) -> u64 {
+        match class {
+            InstClass::IntMul => self.int_mul,
+            InstClass::IntDiv => self.int_div,
+            InstClass::Load | InstClass::Store => self.addr_gen,
+            _ => self.int_alu,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let l = LatencyModel::default();
+        assert_eq!(l.execute(InstClass::IntAlu), 1);
+        assert_eq!(l.execute(InstClass::CondBranch), 1);
+        assert_eq!(l.execute(InstClass::IntMul), 3);
+        assert_eq!(l.execute(InstClass::IntDiv), 12);
+        assert_eq!(l.execute(InstClass::Store), 1);
+        assert_eq!(l, LatencyModel::new());
+    }
+
+    #[test]
+    fn custom_latencies_respected() {
+        let l = LatencyModel { int_mul: 5, ..LatencyModel::new() };
+        assert_eq!(l.execute(InstClass::IntMul), 5);
+        assert_eq!(l.execute(InstClass::IntAlu), 1);
+    }
+}

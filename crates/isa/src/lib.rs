@@ -1,0 +1,150 @@
+//! RISC-style instruction set for the control-independence simulation suite.
+//!
+//! This crate defines the architectural substrate shared by every simulator in
+//! the workspace: registers ([`Reg`]), program counters ([`Pc`]), memory
+//! addresses ([`Addr`]), instructions ([`Inst`], [`Op`], [`InstClass`]),
+//! assembled [`Program`]s, an [`Asm`] builder for writing programs with
+//! symbolic labels, and a configurable [`LatencyModel`].
+//!
+//! The ISA is deliberately simple — a classic three-operand RISC with 32
+//! integer registers, word-addressed memory and absolute branch targets — so
+//! that the interesting machinery (branch prediction, post-dominator analysis,
+//! selective squashing) lives in the layers above, exactly as in the paper's
+//! SimpleScalar-based setup.
+//!
+//! # Example
+//!
+//! ```
+//! use ci_isa::{Asm, Reg};
+//!
+//! # fn main() -> Result<(), ci_isa::AsmError> {
+//! let mut a = Asm::new();
+//! a.li(Reg::R1, 10);          // r1 = 10
+//! a.li(Reg::R2, 0);           // r2 = 0 (accumulator)
+//! a.label("loop")?;
+//! a.add(Reg::R2, Reg::R2, Reg::R1);
+//! a.addi(Reg::R1, Reg::R1, -1);
+//! a.bne(Reg::R1, Reg::R0, "loop");
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod inst;
+mod latency;
+mod program;
+mod reg;
+
+pub use asm::{Asm, AsmError, Target};
+pub use inst::{Inst, InstClass, Op};
+pub use latency::LatencyModel;
+pub use program::Program;
+pub use reg::Reg;
+
+use std::fmt;
+
+/// A program counter: an index into a [`Program`]'s instruction vector.
+///
+/// One word is one instruction, so `Pc(n)` names the `n`-th instruction and
+/// fall-through from `Pc(n)` is `Pc(n + 1)`.
+///
+/// ```
+/// use ci_isa::Pc;
+/// let pc = Pc(4);
+/// assert_eq!(pc.next(), Pc(5));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// The fall-through successor of this program counter.
+    #[must_use]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// This program counter as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u32> for Pc {
+    fn from(v: u32) -> Self {
+        Pc(v)
+    }
+}
+
+/// A data-memory address. Memory is word-addressed: each [`Addr`] names one
+/// 64-bit word.
+///
+/// ```
+/// use ci_isa::Addr;
+/// let a = Addr(0x100);
+/// assert_eq!(a.offset(2), Addr(0x102));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address `n` words past this one (wrapping).
+    #[must_use]
+    pub fn offset(self, n: u64) -> Addr {
+        Addr(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}]", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_next_and_index() {
+        assert_eq!(Pc(0).next(), Pc(1));
+        assert_eq!(Pc(41).index(), 41);
+        assert_eq!(Pc::from(7u32), Pc(7));
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        assert_eq!(Addr(u64::MAX).offset(1), Addr(0));
+        assert_eq!(Addr::from(3u64), Addr(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pc(3).to_string(), "@3");
+        assert_eq!(Addr(16).to_string(), "[0x10]");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Pc(3) < Pc(10));
+        assert!(Addr(3) < Addr(10));
+    }
+}

@@ -1,0 +1,152 @@
+//! Assembled programs.
+
+use crate::{Addr, Inst, Pc};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: instructions, an entry point, an initial data-memory
+/// image, plus side tables produced by the assembler (labels for diagnostics
+/// and the possible targets of each indirect jump).
+///
+/// The indirect-target table stands in for the paper's "software can aid the
+/// hardware" hint channel: the assembler knows the targets of jump-table
+/// dispatches and records them so the CFG analysis can build complete
+/// control-flow edges.
+///
+/// Programs are constructed with [`crate::Asm`]; see the crate-level example.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: Pc,
+    labels: BTreeMap<String, Pc>,
+    indirect_targets: BTreeMap<Pc, Vec<Pc>>,
+    data: Vec<(Addr, u64)>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        insts: Vec<Inst>,
+        entry: Pc,
+        labels: BTreeMap<String, Pc>,
+        indirect_targets: BTreeMap<Pc, Vec<Pc>>,
+        data: Vec<(Addr, u64)>,
+    ) -> Program {
+        Program { insts, entry, labels, indirect_targets, data }
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The entry-point PC.
+    #[must_use]
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The instruction at `pc`, or `None` past the end of the program.
+    #[must_use]
+    pub fn fetch(&self, pc: Pc) -> Option<&Inst> {
+        self.insts.get(pc.index())
+    }
+
+    /// All instructions in program order.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The PC bound to `label`, if any.
+    #[must_use]
+    pub fn label(&self, label: &str) -> Option<Pc> {
+        self.labels.get(label).copied()
+    }
+
+    /// All labels in the program, in name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, Pc)> {
+        self.labels.iter().map(|(n, pc)| (n.as_str(), *pc))
+    }
+
+    /// Software-provided possible targets of the indirect jump at `pc`
+    /// (empty for returns and for indirect jumps without hints).
+    #[must_use]
+    pub fn indirect_targets(&self, pc: Pc) -> &[Pc] {
+        self.indirect_targets.get(&pc).map_or(&[], Vec::as_slice)
+    }
+
+    /// The initial data-memory image as `(address, value)` pairs.
+    #[must_use]
+    pub fn data(&self) -> &[(Addr, u64)] {
+        &self.data
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let by_pc: BTreeMap<Pc, &str> =
+            self.labels.iter().map(|(n, pc)| (*pc, n.as_str())).collect();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let pc = Pc(i as u32);
+            if let Some(name) = by_pc.get(&pc) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "  {pc:>6}  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, Reg};
+
+    fn tiny() -> Program {
+        let mut a = Asm::new();
+        a.label("start").unwrap();
+        a.li(Reg::R1, 1);
+        a.halt();
+        a.word(Addr(0x10), 42);
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn fetch_and_len() {
+        let p = tiny();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.fetch(Pc(0)).is_some());
+        assert!(p.fetch(Pc(2)).is_none());
+        assert_eq!(p.entry(), Pc(0));
+    }
+
+    #[test]
+    fn labels_and_data() {
+        let p = tiny();
+        assert_eq!(p.label("start"), Some(Pc(0)));
+        assert_eq!(p.label("missing"), None);
+        assert_eq!(p.labels().count(), 1);
+        assert_eq!(p.data(), &[(Addr(0x10), 42)]);
+    }
+
+    #[test]
+    fn indirect_targets_default_empty() {
+        let p = tiny();
+        assert!(p.indirect_targets(Pc(0)).is_empty());
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let text = tiny().to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Architectural integer registers.
+
+use std::fmt;
+
+/// One of the 32 architectural integer registers.
+///
+/// [`Reg::R0`] is hard-wired to zero: writes to it are discarded and reads
+/// always return `0`. By convention [`Reg::RA`] (`r31`) is the link register
+/// written by calls and [`Reg::SP`] (`r30`) is the stack pointer, but nothing
+/// in the ISA enforces the convention.
+///
+/// ```
+/// use ci_isa::Reg;
+/// assert_eq!(Reg::R5.number(), 5);
+/// assert_eq!(Reg::try_from(5u8)?, Reg::R5);
+/// # Ok::<(), ci_isa::AsmError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hard-wired zero register.
+    pub const R0: Reg = Reg(0);
+    /// General-purpose register `r1`.
+    pub const R1: Reg = Reg(1);
+    /// General-purpose register `r2`.
+    pub const R2: Reg = Reg(2);
+    /// General-purpose register `r3`.
+    pub const R3: Reg = Reg(3);
+    /// General-purpose register `r4`.
+    pub const R4: Reg = Reg(4);
+    /// General-purpose register `r5`.
+    pub const R5: Reg = Reg(5);
+    /// General-purpose register `r6`.
+    pub const R6: Reg = Reg(6);
+    /// General-purpose register `r7`.
+    pub const R7: Reg = Reg(7);
+    /// General-purpose register `r8`.
+    pub const R8: Reg = Reg(8);
+    /// General-purpose register `r9`.
+    pub const R9: Reg = Reg(9);
+    /// General-purpose register `r10`.
+    pub const R10: Reg = Reg(10);
+    /// General-purpose register `r11`.
+    pub const R11: Reg = Reg(11);
+    /// General-purpose register `r12`.
+    pub const R12: Reg = Reg(12);
+    /// General-purpose register `r13`.
+    pub const R13: Reg = Reg(13);
+    /// General-purpose register `r14`.
+    pub const R14: Reg = Reg(14);
+    /// General-purpose register `r15`.
+    pub const R15: Reg = Reg(15);
+    /// General-purpose register `r16`.
+    pub const R16: Reg = Reg(16);
+    /// General-purpose register `r17`.
+    pub const R17: Reg = Reg(17);
+    /// General-purpose register `r18`.
+    pub const R18: Reg = Reg(18);
+    /// General-purpose register `r19`.
+    pub const R19: Reg = Reg(19);
+    /// General-purpose register `r20`.
+    pub const R20: Reg = Reg(20);
+    /// General-purpose register `r21`.
+    pub const R21: Reg = Reg(21);
+    /// General-purpose register `r22`.
+    pub const R22: Reg = Reg(22);
+    /// General-purpose register `r23`.
+    pub const R23: Reg = Reg(23);
+    /// General-purpose register `r24`.
+    pub const R24: Reg = Reg(24);
+    /// General-purpose register `r25`.
+    pub const R25: Reg = Reg(25);
+    /// General-purpose register `r26`.
+    pub const R26: Reg = Reg(26);
+    /// General-purpose register `r27`.
+    pub const R27: Reg = Reg(27);
+    /// General-purpose register `r28`.
+    pub const R28: Reg = Reg(28);
+    /// General-purpose register `r29`.
+    pub const R29: Reg = Reg(29);
+    /// Conventional stack pointer (`r30`).
+    pub const SP: Reg = Reg(30);
+    /// Conventional link register (`r31`), written by `jal`.
+    pub const RA: Reg = Reg(31);
+
+    /// The register's number, `0..=31`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over every architectural register, `r0` through `r31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = crate::AsmError;
+
+    fn try_from(n: u8) -> Result<Self, Self::Error> {
+        if (n as usize) < Self::COUNT {
+            Ok(Reg(n))
+        } else {
+            Err(crate::AsmError::BadRegister(n))
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::RA => write!(f, "ra"),
+            Reg::SP => write!(f, "sp"),
+            r => write!(f, "r{}", r.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::try_from(r.number()).unwrap(), r);
+        }
+        assert_eq!(Reg::all().count(), Reg::COUNT);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::try_from(32).is_err());
+        assert!(Reg::try_from(200).is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R7.to_string(), "r7");
+        assert_eq!(Reg::RA.to_string(), "ra");
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: instruction classification and assembler invariants.
+
+use ci_isa::{Asm, Inst, InstClass, Op, Pc, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::try_from(n).unwrap())
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add), Just(Op::Sub), Just(Op::Mul), Just(Op::Div),
+        Just(Op::And), Just(Op::Or), Just(Op::Xor), Just(Op::Sll),
+        Just(Op::Srl), Just(Op::Slt), Just(Op::Sltu), Just(Op::Addi),
+        Just(Op::Andi), Just(Op::Ori), Just(Op::Xori), Just(Op::Slti),
+        Just(Op::Slli), Just(Op::Srli), Just(Op::Load), Just(Op::Store),
+        Just(Op::Beq), Just(Op::Bne), Just(Op::Blt), Just(Op::Bge),
+        Just(Op::Jump), Just(Op::Jal), Just(Op::Jalr), Just(Op::Halt),
+        Just(Op::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn classification_is_internally_consistent(
+        op in arb_op(), rd in arb_reg(), rs1 in arb_reg(), rs2 in arb_reg(), imm in -1000i64..1000
+    ) {
+        let inst = Inst { op, rd, rs1, rs2, imm };
+        let class = inst.class();
+        // Destination writers never include stores, branches, jumps, halt, nop.
+        if matches!(class, InstClass::Store | InstClass::CondBranch | InstClass::Jump | InstClass::Halt) {
+            prop_assert_eq!(inst.dest(), None);
+        }
+        // dest() never reports r0.
+        if let Some(d) = inst.dest() {
+            prop_assert!(!d.is_zero());
+        }
+        // sources() never yields r0 and yields at most two registers.
+        let srcs: Vec<Reg> = inst.sources().collect();
+        prop_assert!(srcs.len() <= 2);
+        prop_assert!(srcs.iter().all(|r| !r.is_zero()));
+        // Control classification agrees with prediction requirements.
+        if class.needs_prediction() {
+            prop_assert!(class.is_control());
+        }
+        // Static targets exist exactly for direct control flow.
+        match class {
+            InstClass::CondBranch | InstClass::Jump | InstClass::Call => {
+                prop_assert!(inst.static_target().is_some());
+            }
+            _ => prop_assert_eq!(inst.static_target(), None),
+        }
+        // Display never panics or produces empty text.
+        prop_assert!(!inst.to_string().is_empty());
+    }
+
+    #[test]
+    fn assembled_branch_targets_resolve_in_range(n_blocks in 1usize..20, seed in 0u64..1000) {
+        // Build a program of `n_blocks` labelled blocks with pseudo-random
+        // forward/backward branches between them.
+        let mut a = Asm::new();
+        let mut s = seed;
+        for b in 0..n_blocks {
+            a.label(&format!("b{b}")).unwrap();
+            a.addi(Reg::R1, Reg::R1, 1);
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let target = (s >> 33) as usize % n_blocks;
+            a.beq(Reg::R1, Reg::R2, format!("b{target}").as_str());
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        for (i, inst) in p.insts().iter().enumerate() {
+            if let Some(t) = inst.static_target() {
+                prop_assert!(t.index() < p.len(), "target {t} out of range at {i}");
+            }
+        }
+        // Every label resolves to a PC inside the program.
+        for (_, pc) in p.labels() {
+            prop_assert!(pc.index() < p.len());
+        }
+        prop_assert_eq!(p.entry(), Pc(0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text rendering of experiment tables and data series.
+//!
+//! The experiment harness regenerates every table and figure of the paper as
+//! text; this crate owns the (deliberately simple) formatting so all
+//! binaries produce consistent, diff-able output.
+//!
+//! # Example
+//!
+//! ```
+//! use ci_report::Table;
+//!
+//! let mut t = Table::new("TABLE 1. Benchmark information.");
+//! t.headers(&["benchmark", "instructions", "misprediction rate"]);
+//! t.row(vec!["gcc".into(), "117M".into(), "8.3%".into()]);
+//! let text = t.render();
+//! assert!(text.contains("benchmark"));
+//! assert!(text.contains("gcc"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A titled text table with aligned columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with a title.
+    #[must_use]
+    pub fn new(title: &str) -> Table {
+        Table { title: title.to_owned(), headers: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Set the column headers.
+    pub fn headers(&mut self, headers: &[&str]) -> &mut Self {
+        self.headers = headers.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_owned()
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&fmt_row(&self.headers));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with `prec` decimal places.
+#[must_use]
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a fraction as a percentage with one decimal place.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new("T");
+        t.headers(&["a", "bench"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("a       bench"));
+        assert!(lines[3].starts_with("x"));
+        assert!(lines[4].starts_with("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn headerless_table() {
+        let mut t = Table::new("X");
+        t.row(vec!["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("1  2"));
+        assert!(!r.contains("---"));
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = Table::new("X");
+        t.headers(&["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(Table::default().render(), "\n");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("D");
+        t.row(vec!["z".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,142 @@
+//! The `compress` analogue: a hash-table update loop with a long serial
+//! dependence chain and frequent store→load aliasing.
+//!
+//! Compress's dictionary update gives the paper its most extreme data points:
+//! long dependence chains crossing mispredicted branches (so false data
+//! dependences hurt badly), and loads that frequently alias recent stores (so
+//! memory-order violations and reissue cascades are common). We reproduce
+//! both:
+//!
+//! - a *skip-style* branch guards a block that rewrites the accumulator, so
+//!   a wrong path clobbers the serial chain's live value — the archetypal
+//!   false data dependence, and because the chain feeds every later
+//!   iteration, a single repair stalls the whole window (why `nWR-FD`
+//!   collapses for compress in Figure 3);
+//! - a 64-entry hash table is loaded and stored every iteration, so loads
+//!   frequently alias in-flight stores (compress's Table 4 memory-violation
+//!   rates).
+
+use crate::{SplitMix64, WorkloadParams};
+use ci_isa::{Addr, Asm, Program, Reg};
+
+const DATA: u64 = 0x1000;
+const DATA_WORDS: u64 = 4096;
+const TABLE: u64 = 0x8000;
+const TABLE_MASK: i64 = 63; // 64 entries: collisions (and violations) frequent
+const OUT: u64 = 0x100;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed);
+    let data: Vec<u64> = (0..DATA_WORDS).map(|_| rng.next_u64()).collect();
+
+    let mut a = Asm::new();
+    a.words(Addr(DATA), &data);
+
+    // r10 = i, r11 = N, r12 = data base, r13 = acc (THE serial chain),
+    // r15 = table base, r16 = hash multiplier.
+    a.li(Reg::R10, 0);
+    a.li(Reg::R11, i64::from(params.scale));
+    a.li(Reg::R12, DATA as i64);
+    a.li(Reg::R13, 0);
+    a.li(Reg::R15, TABLE as i64);
+    a.li(Reg::R16, 0x9E37_79B9);
+
+    a.label("loop").unwrap();
+    a.andi(Reg::R1, Reg::R10, (DATA_WORDS - 1) as i64);
+    a.add(Reg::R2, Reg::R12, Reg::R1);
+    a.load(Reg::R3, Reg::R2, 0); // x = data[i] (parallel across iterations)
+
+    // h = (x * K) >> 24 & TABLE_MASK
+    a.mul(Reg::R4, Reg::R3, Reg::R16);
+    a.srli(Reg::R4, Reg::R4, 24);
+    a.andi(Reg::R4, Reg::R4, TABLE_MASK);
+    a.add(Reg::R5, Reg::R15, Reg::R4);
+    a.load(Reg::R6, Reg::R5, 0); // v = table[h] — may alias a recent store
+
+    // Skip-style branch testing the dictionary entry against the running
+    // accumulator: the rescale block executes for ~88% of values (the
+    // predicted direction), so a misprediction's wrong path REWRITES the
+    // accumulator chain falsely. Because the branch condition itself sits on
+    // the chain, resolution — and therefore every false-dependence repair —
+    // is chain-delayed, and repairs compound across iterations: compress's
+    // Figure 3 collapse under nWR-FD.
+    a.xor(Reg::R7, Reg::R6, Reg::R13);
+    a.andi(Reg::R7, Reg::R7, 7);
+    a.beq(Reg::R7, Reg::R0, "no_rescale");
+    a.slli(Reg::R8, Reg::R3, 3);
+    a.xori(Reg::R8, Reg::R8, 0x6b);
+    a.andi(Reg::R8, Reg::R8, 0xffff);
+    a.srli(Reg::R9, Reg::R8, 4);
+    a.add(Reg::R8, Reg::R8, Reg::R9);
+    a.xor(Reg::R13, Reg::R13, Reg::R8); // the block's one chained acc update
+    a.label("no_rescale").unwrap();
+
+    // Dictionary update: the store that later loads will alias. The stored
+    // value is the *accumulator* — its data arrives chain-late while the
+    // address is known early, so speculative loads frequently read the slot
+    // before the store completes: compress's Table 4 memory-order
+    // violations.
+    a.xor(Reg::R9, Reg::R13, Reg::R3);
+    a.store(Reg::R9, Reg::R5, 0); // table[h] = acc ^ x
+
+    // The serial chain continues: one chained op through the loaded v.
+    a.add(Reg::R13, Reg::R13, Reg::R6);
+
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "loop");
+
+    a.store(Reg::R13, Reg::R0, OUT as i64);
+    a.halt();
+    a.assemble().expect("compress_like assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_emu::run_trace;
+    use ci_isa::InstClass;
+
+    #[test]
+    fn halts_with_aliasing_traffic() {
+        let p = build(&WorkloadParams { scale: 200, seed: 1 });
+        let t = run_trace(&p, 100_000).unwrap();
+        assert!(t.completed());
+        let stores = t.insts().iter().filter(|d| d.class() == InstClass::Store).count();
+        assert!(stores >= 200);
+        // Store→load aliasing must actually occur (same table slot reused).
+        let mut store_addrs = std::collections::HashSet::new();
+        let mut aliased = 0;
+        for d in t.insts() {
+            match d.class() {
+                InstClass::Store => {
+                    store_addrs.insert(d.addr.unwrap());
+                }
+                InstClass::Load if store_addrs.contains(&d.addr.unwrap()) => {
+                    aliased += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(aliased > 50, "too little aliasing: {aliased}");
+    }
+
+    #[test]
+    fn rescale_block_exercised() {
+        let p = build(&WorkloadParams { scale: 300, seed: 1 });
+        let t = run_trace(&p, 100_000).unwrap();
+        // The skip branch must be taken sometimes and not-taken sometimes.
+        let skip = p
+            .insts()
+            .iter()
+            .position(|i| i.class() == InstClass::CondBranch && i.rs1 == Reg::R7)
+            .unwrap() as u32;
+        let outcomes: Vec<bool> = t
+            .insts()
+            .iter()
+            .filter(|d| d.pc.0 == skip)
+            .map(|d| d.taken)
+            .collect();
+        assert!(outcomes.iter().any(|&b| b));
+        assert!(outcomes.iter().any(|&b| !b));
+    }
+}

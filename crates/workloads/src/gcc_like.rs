@@ -1,0 +1,206 @@
+//! The `gcc` analogue: irregular control flow with a skewed jump-table
+//! switch, nested ifs and helper calls.
+//!
+//! Gcc's character in the paper is *irregular* control flow — many static
+//! branch sites, a moderate 8.3% misprediction rate, and (per Table 2) the
+//! lowest fraction of mispredictions with a reconvergent point in the window.
+//! We reproduce that with a dispatch loop: a skewed four-way jump table
+//! (indirect jump through data memory, hinted for the CFG analysis), a
+//! skip-style diamond, and a helper call containing another diamond whose
+//! reconvergence is only in the caller (invisible to the intraprocedural
+//! post-dominator analysis — gcc's low reconvergence coverage).
+//!
+//! Iterations are kept mostly independent (one checksum op chains across
+//! them) so the workload is window-bound and the paper's wasted-resources
+//! effect is visible.
+
+use crate::{SplitMix64, WorkloadParams};
+use ci_isa::{Addr, Asm, Program, Reg};
+
+const DATA: u64 = 0x1000;
+const DATA_WORDS: u64 = 4096;
+const JTAB: u64 = 0x7000;
+const OUT: u64 = 0x100;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed);
+    let data: Vec<u64> = (0..DATA_WORDS)
+        .map(|_| {
+            let mut v = rng.next_u64();
+            // Switch case (bits 0-1), skewed: 0 at 92%, 1 at 4%, 2 at 2%, 3 at 2%.
+            let roll = rng.below(100);
+            let case = if roll < 92 {
+                0
+            } else if roll < 96 {
+                1
+            } else if roll < 98 {
+                2
+            } else {
+                3
+            };
+            v = (v & !0x3) | case;
+            // Bits 6-7 zero 91% of the time (diamond mostly taken).
+            if rng.chance(91) {
+                v &= !0xc0;
+            }
+            // Bits 8-9 nonzero 91% of the time (helper diamond mostly taken).
+            if rng.chance(91) {
+                v |= 0x100;
+            } else {
+                v &= !0x300;
+            }
+            v
+        })
+        .collect();
+
+    let mut a = Asm::new();
+    a.words(Addr(DATA), &data);
+    for (i, case) in ["case0", "case1", "case2", "case3"].iter().enumerate() {
+        a.word_label(Addr(JTAB + i as u64), case);
+    }
+
+    // r10 = i, r11 = N, r12 = data base, r13 = checksum, r17 = jump table.
+    a.li(Reg::R10, 0);
+    a.li(Reg::R11, i64::from(params.scale));
+    a.li(Reg::R12, DATA as i64);
+    a.li(Reg::R13, 0);
+    a.li(Reg::R17, JTAB as i64);
+
+    a.label("loop").unwrap();
+    a.andi(Reg::R1, Reg::R10, (DATA_WORDS - 1) as i64);
+    a.add(Reg::R2, Reg::R12, Reg::R1);
+    a.load(Reg::R3, Reg::R2, 0); // x
+
+    // switch (x & 3) through the jump table: cases compute r7 with arms of
+    // 5-9 instructions (gcc's Table 2 restart distances).
+    a.andi(Reg::R4, Reg::R3, 3);
+    a.add(Reg::R5, Reg::R17, Reg::R4);
+    a.load(Reg::R6, Reg::R5, 0);
+    a.jalr_hinted(Reg::R0, Reg::R6, 0, &["case0", "case1", "case2", "case3"]);
+
+    a.label("case0").unwrap();
+    a.addi(Reg::R7, Reg::R3, 1);
+    a.srli(Reg::R8, Reg::R7, 2);
+    a.xor(Reg::R7, Reg::R7, Reg::R8);
+    a.andi(Reg::R7, Reg::R7, 0xffff);
+    a.jump("merge");
+    a.label("case1").unwrap();
+    a.xori(Reg::R7, Reg::R3, 0xff);
+    a.slli(Reg::R7, Reg::R7, 1);
+    a.addi(Reg::R8, Reg::R7, 77);
+    a.and(Reg::R7, Reg::R7, Reg::R8);
+    a.srli(Reg::R8, Reg::R7, 5);
+    a.add(Reg::R7, Reg::R7, Reg::R8);
+    a.ori(Reg::R7, Reg::R7, 4);
+    a.sub(Reg::R7, Reg::R7, Reg::R8);
+    a.jump("merge");
+    a.label("case2").unwrap();
+    a.srli(Reg::R7, Reg::R3, 5);
+    a.addi(Reg::R7, Reg::R7, 9);
+    a.slli(Reg::R8, Reg::R7, 3);
+    a.xor(Reg::R7, Reg::R7, Reg::R8);
+    a.andi(Reg::R7, Reg::R7, 0x7fff);
+    a.addi(Reg::R7, Reg::R7, 3);
+    a.jump("merge");
+    a.label("case3").unwrap();
+    a.sub(Reg::R7, Reg::R0, Reg::R3);
+    a.andi(Reg::R7, Reg::R7, 0xfff);
+    a.ori(Reg::R7, Reg::R7, 1);
+    a.jump("merge");
+
+    a.label("merge").unwrap();
+    // Skip-style diamond on bits 6-7 (rare path ~12 instructions): the
+    // skipped block rewrites r7, so wrong paths create false dependences
+    // against the switch arms' value.
+    a.andi(Reg::R4, Reg::R3, 0xc0);
+    a.beq(Reg::R4, Reg::R0, "d1_skip");
+    a.srli(Reg::R7, Reg::R3, 10);
+    a.andi(Reg::R7, Reg::R7, 0x3ff);
+    a.slli(Reg::R8, Reg::R7, 1);
+    a.xor(Reg::R7, Reg::R7, Reg::R8);
+    a.ori(Reg::R7, Reg::R7, 8);
+    a.srli(Reg::R8, Reg::R7, 4);
+    a.add(Reg::R7, Reg::R7, Reg::R8);
+    a.xori(Reg::R7, Reg::R7, 0x1f);
+    a.addi(Reg::R7, Reg::R7, 5);
+    a.andi(Reg::R7, Reg::R7, 0xffff);
+    a.label("d1_skip").unwrap();
+
+    a.call("helper");
+
+    // Control-independent tail: consume r7 and r9; one chain op.
+    a.add(Reg::R8, Reg::R7, Reg::R9);
+    a.srli(Reg::R4, Reg::R8, 3);
+    a.xor(Reg::R8, Reg::R8, Reg::R4);
+    a.xor(Reg::R13, Reg::R13, Reg::R8);
+
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "loop");
+
+    a.store(Reg::R13, Reg::R0, OUT as i64);
+    a.halt();
+
+    // helper: diamond on bits 8-9 whose paths reconverge only at the return
+    // (no intraprocedural post-dominator — reduces reconvergence coverage,
+    // as in real gcc).
+    a.label("helper").unwrap();
+    a.andi(Reg::R4, Reg::R3, 0x300);
+    a.bne(Reg::R4, Reg::R0, "h_then");
+    a.addi(Reg::R9, Reg::R3, 5);
+    a.andi(Reg::R9, Reg::R9, 0xff);
+    a.ret();
+    a.label("h_then").unwrap();
+    a.slli(Reg::R9, Reg::R3, 1);
+    a.srli(Reg::R9, Reg::R9, 9);
+    a.andi(Reg::R9, Reg::R9, 0x1ff);
+    a.ori(Reg::R9, Reg::R9, 3);
+    a.ret();
+
+    a.assemble().expect("gcc_like assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_emu::run_trace;
+    use ci_isa::InstClass;
+
+    #[test]
+    fn halts_and_uses_all_cases() {
+        let p = build(&WorkloadParams { scale: 300, seed: 11 });
+        let t = run_trace(&p, 200_000).unwrap();
+        assert!(t.completed());
+        for case in ["case0", "case1", "case2", "case3"] {
+            let pc = p.label(case).unwrap();
+            assert!(
+                t.insts().iter().any(|d| d.pc == pc),
+                "{case} never executed"
+            );
+        }
+    }
+
+    #[test]
+    fn case_distribution_is_skewed() {
+        let p = build(&WorkloadParams { scale: 500, seed: 11 });
+        let t = run_trace(&p, 500_000).unwrap();
+        let c0 = p.label("case0").unwrap();
+        let ij = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == InstClass::IndirectJump)
+            .count();
+        let hits0 = t.insts().iter().filter(|d| d.pc == c0).count();
+        let frac = hits0 as f64 / ij as f64;
+        assert!((0.85..0.97).contains(&frac), "case0 fraction {frac:.2}");
+    }
+
+    #[test]
+    fn helper_branch_has_no_intraprocedural_reconvergence() {
+        let p = build(&WorkloadParams { scale: 10, seed: 11 });
+        let m = ci_cfg::ReconvergenceMap::compute(&p);
+        let helper = p.label("helper").unwrap();
+        // The helper's diamond branch is the bne right after the andi.
+        let branch = ci_isa::Pc(helper.0 + 1);
+        assert_eq!(m.reconvergent_point(branch), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! The `go` analogue: control-intensive code with data-dependent,
+//! hard-to-predict branches.
+//!
+//! Go's evaluation functions branch on board state that is effectively random
+//! to a predictor. We reproduce that with branches on individual bits of
+//! pseudo-random data, with structural properties tuned to the paper:
+//!
+//! - iterations are (almost) mutually independent, so ILP grows with window
+//!   size and wasted window space (the `WR` factor) has a visible cost;
+//! - branch conditions sit behind a dependent (pointer-chasing) load, so
+//!   mispredictions take several cycles to resolve;
+//! - one branch is *skip-style* over value updates, so its wrong path
+//!   creates false data dependences against pre-branch producers (the `FD`
+//!   factor);
+//! - the main diamond arms are 9-14 instructions long, matching go's Table 2
+//!   restart distances.
+
+use crate::{SplitMix64, WorkloadParams};
+use ci_isa::{Addr, Asm, Program, Reg};
+
+const DATA: u64 = 0x1000;
+const DATA_WORDS: u64 = 2048;
+const OUT: u64 = 0x100;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed);
+    // Board-like data: values double as chase indices.
+    let data: Vec<u64> = (0..DATA_WORDS).map(|_| rng.next_u64()).collect();
+
+    let mut a = Asm::new();
+    a.words(Addr(DATA), &data);
+
+    // r10 = i, r11 = N, r12 = data base, r13 = checksum (one chain op per
+    // iteration — deliberately not the bottleneck).
+    a.li(Reg::R10, 0);
+    a.li(Reg::R11, i64::from(params.scale));
+    a.li(Reg::R12, DATA as i64);
+    a.li(Reg::R13, 0);
+
+    a.label("outer").unwrap();
+    a.andi(Reg::R1, Reg::R10, (DATA_WORDS - 1) as i64);
+    a.add(Reg::R2, Reg::R12, Reg::R1);
+    a.load(Reg::R3, Reg::R2, 0); // x = data[i]
+    // Pointer chase: the branch condition depends on a second-level load,
+    // so resolving a misprediction takes a handful of cycles.
+    a.andi(Reg::R4, Reg::R3, (DATA_WORDS - 1) as i64);
+    a.add(Reg::R4, Reg::R12, Reg::R4);
+    a.load(Reg::R5, Reg::R4, 0); // y = data[x & mask]
+
+    // Branch 1 (~25% to the else arm): a 14-vs-9 instruction diamond
+    // computing r6.
+    a.andi(Reg::R6, Reg::R5, 3);
+    a.beq(Reg::R6, Reg::R0, "b1_else");
+    a.slli(Reg::R6, Reg::R5, 1);
+    a.add(Reg::R6, Reg::R6, Reg::R5);
+    a.srli(Reg::R7, Reg::R5, 7);
+    a.xor(Reg::R6, Reg::R6, Reg::R7);
+    a.andi(Reg::R7, Reg::R6, 1023);
+    a.add(Reg::R6, Reg::R6, Reg::R7);
+    a.slli(Reg::R7, Reg::R7, 2);
+    a.sub(Reg::R6, Reg::R6, Reg::R7);
+    a.ori(Reg::R6, Reg::R6, 1);
+    a.srli(Reg::R7, Reg::R6, 3);
+    a.add(Reg::R6, Reg::R6, Reg::R7);
+    a.xori(Reg::R6, Reg::R6, 0x55);
+    a.jump("b1_join");
+    a.label("b1_else").unwrap();
+    a.addi(Reg::R6, Reg::R5, 7);
+    a.xor(Reg::R7, Reg::R5, Reg::R6);
+    a.slli(Reg::R7, Reg::R7, 1);
+    a.add(Reg::R6, Reg::R6, Reg::R7);
+    a.andi(Reg::R6, Reg::R6, 0xffff);
+    a.srli(Reg::R7, Reg::R6, 4);
+    a.xor(Reg::R6, Reg::R6, Reg::R7);
+    a.addi(Reg::R6, Reg::R6, 13);
+    a.label("b1_join").unwrap();
+
+    // Branch 2 (skip-style, skipped only ~25% of the time): the block
+    // REWRITES r6 from x, so when it is fetched down a wrong path (the
+    // common predicted direction) it clobbers a value control-independent
+    // code truly gets from the diamond above — the false-data-dependence
+    // structure the FD models charge for.
+    a.xor(Reg::R7, Reg::R5, Reg::R13); // condition reads the checksum chain,
+    a.andi(Reg::R7, Reg::R7, 6);       // so repairs compound across iterations
+    a.beq(Reg::R7, Reg::R0, "b2_skip");
+    a.srli(Reg::R6, Reg::R3, 4);
+    a.andi(Reg::R6, Reg::R6, 255);
+    a.slli(Reg::R7, Reg::R6, 1);
+    a.add(Reg::R6, Reg::R6, Reg::R7);
+    a.xori(Reg::R6, Reg::R6, 0x2a);
+    a.ori(Reg::R6, Reg::R6, 2);
+    a.label("b2_skip").unwrap();
+
+    // Branch 3 (taken ~12%): another diamond, arms 6 vs 3, computing r8.
+    a.andi(Reg::R7, Reg::R5, 0x38);
+    a.beq(Reg::R7, Reg::R0, "b3_else");
+    a.srli(Reg::R8, Reg::R3, 8);
+    a.xori(Reg::R8, Reg::R8, 0x33);
+    a.andi(Reg::R8, Reg::R8, 0xfff);
+    a.addi(Reg::R8, Reg::R8, 3);
+    a.slli(Reg::R7, Reg::R8, 1);
+    a.add(Reg::R8, Reg::R8, Reg::R7);
+    a.jump("b3_join");
+    a.label("b3_else").unwrap();
+    a.slli(Reg::R8, Reg::R6, 2);
+    a.sub(Reg::R8, Reg::R8, Reg::R6);
+    a.andi(Reg::R8, Reg::R8, 0xfffff);
+    a.label("b3_join").unwrap();
+
+    // Control-independent tail consuming the diamonds' products (r6, r8);
+    // only one checksum op chains across iterations.
+    a.add(Reg::R9, Reg::R6, Reg::R8);
+    a.srli(Reg::R7, Reg::R9, 5);
+    a.xor(Reg::R9, Reg::R9, Reg::R7);
+    a.xor(Reg::R13, Reg::R13, Reg::R9);
+
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "outer");
+
+    a.store(Reg::R13, Reg::R0, OUT as i64);
+    a.halt();
+    a.assemble().expect("go_like assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_emu::run_trace;
+
+    #[test]
+    fn halts_and_produces_output() {
+        let p = build(&WorkloadParams { scale: 10, seed: 1 });
+        let t = run_trace(&p, 100_000).unwrap();
+        assert!(t.completed());
+        let store = t.insts().iter().rev().find(|d| d.addr == Some(Addr(OUT)));
+        assert!(store.is_some());
+    }
+
+    #[test]
+    fn all_arms_exercised() {
+        let p = build(&WorkloadParams { scale: 200, seed: 1 });
+        let t = run_trace(&p, 100_000).unwrap();
+        for l in ["b1_else", "b2_skip", "b3_else", "b1_join", "b3_join"] {
+            let pc = p.label(l).unwrap();
+            assert!(t.insts().iter().any(|d| d.pc == pc), "{l} never reached");
+        }
+    }
+}

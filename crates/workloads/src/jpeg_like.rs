@@ -1,0 +1,145 @@
+//! The `ijpeg` analogue: nested predictable loops, high ILP, occasional
+//! data-dependent clamp branches.
+//!
+//! JPEG-style kernels sweep fixed-size blocks with loop bounds a history
+//! predictor learns perfectly; the only misprediction sources are value
+//! clamps. Iterations are data-independent, so the workload is rich in
+//! parallelism and any misprediction wastes a lot of potential work — the
+//! property the paper highlights for ijpeg.
+
+use crate::{SplitMix64, WorkloadParams};
+use ci_isa::{Addr, Asm, Program, Reg};
+
+const DATA: u64 = 0x1000;
+const DATA_WORDS: u64 = 4096;
+const OUT: u64 = 0x6000;
+const BLOCK: i64 = 8;
+/// Fraction (percent) of pixels engineered to exceed the clamp threshold.
+const CLAMP_PERCENT: u64 = 12;
+const THRESHOLD: i64 = 4096;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed);
+    // Pixel data. Brightness clusters per 8-pixel block, as in real images:
+    // a bright block's pixels all clamp, a dark block's never do. Clustering
+    // keeps the branch-history entropy low (one random event per block, not
+    // eight), which is what makes real ijpeg predictable.
+    let mut data: Vec<u64> = Vec::with_capacity(DATA_WORDS as usize);
+    while data.len() < DATA_WORDS as usize {
+        let bright = rng.chance(CLAMP_PERCENT);
+        for _ in 0..BLOCK {
+            // Within-cluster noise: bright pixels clamp 80% of the time,
+            // dark pixels 5% — tuned to land near ijpeg's 6.8% rate.
+            let clamps = if bright { rng.chance(80) } else { rng.chance(5) };
+            data.push(if clamps {
+                // 3v/4 alone already exceeds the threshold.
+                (THRESHOLD as u64) * 2 + rng.below(1024)
+            } else {
+                // 3v/4 + 255 stays below the threshold.
+                rng.below(THRESHOLD as u64 / 2)
+            });
+        }
+    }
+
+    let mut a = Asm::new();
+    a.words(Addr(DATA), &data);
+
+    // r10 = block index, r11 = #blocks, r12 = data base, r13 = checksum,
+    // r21 = clamp threshold, r22 = out base, r23 = block length.
+    a.li(Reg::R10, 0);
+    a.li(Reg::R11, i64::from(params.scale));
+    a.li(Reg::R12, DATA as i64);
+    a.li(Reg::R13, 0);
+    a.li(Reg::R21, THRESHOLD);
+    a.li(Reg::R22, OUT as i64);
+    a.li(Reg::R23, BLOCK);
+
+    a.label("outer").unwrap();
+    // base offset = (block & 511) * 8
+    a.andi(Reg::R1, Reg::R10, 511);
+    a.slli(Reg::R1, Reg::R1, 3);
+    a.add(Reg::R2, Reg::R12, Reg::R1); // in base
+    a.add(Reg::R9, Reg::R22, Reg::R1); // out base
+    a.li(Reg::R20, 0); // k
+
+    a.label("inner").unwrap();
+    a.add(Reg::R3, Reg::R2, Reg::R20);
+    a.load(Reg::R4, Reg::R3, 0); // v — independent across iterations
+    // Filter arithmetic: v' = (3v >> 2) + (v & 255)
+    a.slli(Reg::R5, Reg::R4, 1);
+    a.add(Reg::R5, Reg::R5, Reg::R4);
+    a.srli(Reg::R5, Reg::R5, 2);
+    a.andi(Reg::R6, Reg::R4, 255);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    // Clamp (the only hard-to-predict branch; not taken for bright
+    // pixels, which then take the longer requantize path — the incorrect
+    // control-dependent region of a clamp misprediction is ~10 instructions,
+    // matching ijpeg's Table 2 restart distances).
+    a.blt(Reg::R5, Reg::R21, "no_clamp");
+    a.srli(Reg::R6, Reg::R5, 3);
+    a.add(Reg::R5, Reg::R21, Reg::R6);
+    a.andi(Reg::R5, Reg::R5, 8191);
+    a.srli(Reg::R6, Reg::R5, 2);
+    a.sub(Reg::R5, Reg::R5, Reg::R6);
+    a.andi(Reg::R6, Reg::R5, 63);
+    a.add(Reg::R5, Reg::R5, Reg::R6);
+    a.blt(Reg::R5, Reg::R21, "no_clamp");
+    a.mv(Reg::R5, Reg::R21);
+    a.label("no_clamp").unwrap();
+    a.add(Reg::R7, Reg::R9, Reg::R20);
+    a.store(Reg::R5, Reg::R7, 0);
+    a.add(Reg::R13, Reg::R13, Reg::R5);
+    a.addi(Reg::R20, Reg::R20, 1);
+    a.blt(Reg::R20, Reg::R23, "inner"); // fully learnable 8-iteration loop
+
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "outer");
+
+    a.store(Reg::R13, Reg::R0, 0x100);
+    a.halt();
+    a.assemble().expect("jpeg_like assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_emu::run_trace;
+    use ci_isa::InstClass;
+
+    #[test]
+    fn halts_and_processes_blocks() {
+        let p = build(&WorkloadParams { scale: 10, seed: 3 });
+        let t = run_trace(&p, 100_000).unwrap();
+        assert!(t.completed());
+        let stores = t.insts().iter().filter(|d| d.class() == InstClass::Store).count();
+        assert_eq!(stores, 10 * 8 + 1); // 8 pixels per block + checksum
+    }
+
+    #[test]
+    fn clamp_rate_matches_engineering() {
+        let p = build(&WorkloadParams { scale: 200, seed: 3 });
+        let t = run_trace(&p, 1_000_000).unwrap();
+        // Count clamp branches (blt r5, r21) that were NOT taken (= clamped).
+        let clamp_pc = {
+            // Find the blt whose sources are r5, r21.
+            p.insts()
+                .iter()
+                .position(|i| {
+                    i.class() == InstClass::CondBranch
+                        && i.rs1 == Reg::R5
+                        && i.rs2 == Reg::R21
+                })
+                .unwrap() as u32
+        };
+        let (taken, total) = t
+            .insts()
+            .iter()
+            .filter(|d| d.pc.0 == clamp_pc)
+            .fold((0u32, 0u32), |(tk, tot), d| (tk + u32::from(d.taken), tot + 1));
+        let clamped_frac = 1.0 - f64::from(taken) / f64::from(total);
+        assert!(
+            (0.05..0.25).contains(&clamped_frac),
+            "clamp fraction {clamped_frac:.3} out of range"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic pseudo-random number generation for workload data.
+
+/// A SplitMix64 generator.
+///
+/// Used to synthesize workload data deterministically from a seed; kept
+/// in-crate (rather than depending on `rand`) so that workload bytes are
+/// stable across dependency upgrades — experiment outputs must be
+/// reproducible bit-for-bit.
+///
+/// ```
+/// use ci_workloads::SplitMix64;
+/// let mut a = SplitMix64::new(1);
+/// let mut b = SplitMix64::new(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(3);
+        let mut b = SplitMix64::new(3);
+        let mut c = SplitMix64::new(4);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(7);
+        assert!(!(0..100).any(|_| r.chance(0)));
+        assert!((0..100).all(|_| r.chance(100)));
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let mut r = SplitMix64::new(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_zero_bound_panics() {
+        SplitMix64::new(1).below(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `vortex` analogue: call-heavy object-store code with highly
+//! predictable branches.
+//!
+//! Vortex spends its time in small routines whose branches almost always go
+//! the same way; its paper misprediction rate is only 1.4%, so control
+//! independence buys little. We reproduce that with a loop calling three
+//! small functions, periodic (learnable) branches, and one rare data-driven
+//! branch.
+
+use crate::{SplitMix64, WorkloadParams};
+use ci_isa::{Addr, Asm, Program, Reg};
+
+const DATA: u64 = 0x1000;
+const DATA_WORDS: u64 = 2048;
+const STORE_REGION: u64 = 0x5000;
+const OUT: u64 = 0x100;
+/// Percent of records flagged "dirty" (feeds the one unpredictable branch).
+const DIRTY_PERCENT: u64 = 6;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed);
+    let data: Vec<u64> = (0..DATA_WORDS)
+        .map(|_| {
+            let v = rng.next_u64() & !1;
+            if rng.chance(DIRTY_PERCENT) {
+                v | 1
+            } else {
+                v
+            }
+        })
+        .collect();
+
+    let mut a = Asm::new();
+    a.words(Addr(DATA), &data);
+
+    // r10 = i, r11 = N, r12 = data base, r13 = acc, r18 = store region.
+    a.li(Reg::R10, 0);
+    a.li(Reg::R11, i64::from(params.scale));
+    a.li(Reg::R12, DATA as i64);
+    a.li(Reg::R13, 0);
+    a.li(Reg::R18, STORE_REGION as i64);
+
+    a.label("loop").unwrap();
+    a.call("lookup");
+    a.call("update");
+    a.call("check");
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "loop");
+    a.store(Reg::R13, Reg::R0, OUT as i64);
+    a.halt();
+
+    // lookup: r3 = record, r4 = key field; branch on impossible condition
+    // (always not taken — perfectly predictable).
+    a.label("lookup").unwrap();
+    a.andi(Reg::R1, Reg::R10, (DATA_WORDS - 1) as i64);
+    a.add(Reg::R2, Reg::R12, Reg::R1);
+    a.load(Reg::R3, Reg::R2, 0);
+    a.ori(Reg::R4, Reg::R3, 2); // r4 can never be zero
+    a.beq(Reg::R4, Reg::R0, "lookup_null");
+    a.srli(Reg::R4, Reg::R3, 8);
+    a.ret();
+    a.label("lookup_null").unwrap();
+    a.li(Reg::R4, 0);
+    a.ret();
+
+    // update: periodic flush every 4th record (learnable with history).
+    a.label("update").unwrap();
+    a.andi(Reg::R5, Reg::R10, 3);
+    a.bne(Reg::R5, Reg::R0, "no_flush");
+    a.andi(Reg::R6, Reg::R10, 255);
+    a.add(Reg::R6, Reg::R18, Reg::R6);
+    a.store(Reg::R13, Reg::R6, 0);
+    a.label("no_flush").unwrap();
+    a.add(Reg::R13, Reg::R13, Reg::R4);
+    a.ret();
+
+    // check: the one rare, data-driven branch (dirty records only).
+    a.label("check").unwrap();
+    a.andi(Reg::R7, Reg::R3, 1);
+    a.bne(Reg::R7, Reg::R0, "dirty");
+    a.ret();
+    a.label("dirty").unwrap();
+    a.xor(Reg::R13, Reg::R13, Reg::R3);
+    a.addi(Reg::R13, Reg::R13, 3);
+    a.ret();
+
+    a.assemble().expect("vortex_like assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_emu::run_trace;
+    use ci_isa::InstClass;
+
+    #[test]
+    fn halts_with_heavy_call_traffic() {
+        let p = build(&WorkloadParams { scale: 100, seed: 5 });
+        let t = run_trace(&p, 100_000).unwrap();
+        assert!(t.completed());
+        let calls = t.insts().iter().filter(|d| d.class() == InstClass::Call).count();
+        let rets = t.insts().iter().filter(|d| d.class() == InstClass::Return).count();
+        assert_eq!(calls, 300);
+        assert_eq!(calls, rets);
+    }
+
+    #[test]
+    fn impossible_branch_never_taken() {
+        let p = build(&WorkloadParams { scale: 50, seed: 5 });
+        let t = run_trace(&p, 100_000).unwrap();
+        let lookup_null = p.label("lookup_null").unwrap();
+        assert!(!t.insts().iter().any(|d| d.pc == lookup_null));
+    }
+}

@@ -1,0 +1,75 @@
+//! Sweep the control-independence design space on one workload: completion
+//! models, reconvergence detection, redispatch timing, preemption and ROB
+//! segmentation — the knobs Sections 3-4 and Appendix A evaluate.
+//!
+//! ```sh
+//! cargo run --release --example design_space [workload]
+//! ```
+
+use control_independence::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_owned());
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or(Workload::GccLike);
+    let instructions = 60_000;
+    let program = workload.build(&WorkloadParams {
+        scale: workload.scale_for(instructions),
+        seed: 0x5EED,
+    });
+
+    let run = |cfg: PipelineConfig| simulate(&program, cfg, instructions).expect("valid");
+    let base = run(PipelineConfig::base(256));
+    println!("{workload}: BASE = {:.2} IPC\n", base.ipc());
+
+    let mut t = Table::new("Design-space sweep (window 256)");
+    t.headers(&["configuration", "IPC", "vs BASE"]);
+    let mut row = |label: &str, s: &Stats| {
+        t.row(vec![
+            label.to_owned(),
+            format!("{:.2}", s.ipc()),
+            format!("{:+.1}%", 100.0 * (s.ipc() / base.ipc() - 1.0)),
+        ]);
+    };
+
+    row("CI, postdominator recon", &run(PipelineConfig::ci(256)));
+    row("CI-I, instant redispatch", &run(PipelineConfig::ci_instant(256)));
+    row(
+        "CI, return/loop/ltb heuristics",
+        &run(PipelineConfig {
+            recon: ReconStrategy::hardware(true, true, true),
+            ..PipelineConfig::ci(256)
+        }),
+    );
+    row(
+        "CI, return heuristic only",
+        &run(PipelineConfig {
+            recon: ReconStrategy::hardware(true, false, false),
+            ..PipelineConfig::ci(256)
+        }),
+    );
+    for (label, completion) in [
+        ("CI, non-spec completion", CompletionModel::NonSpec),
+        ("CI, spec-D completion", CompletionModel::SpecD),
+        ("CI, spec completion", CompletionModel::Spec),
+    ] {
+        row(label, &run(PipelineConfig { completion, ..PipelineConfig::ci(256) }));
+    }
+    row(
+        "CI, optimal preemption",
+        &run(PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(256) }),
+    );
+    for seg in [4usize, 16] {
+        row(
+            &format!("CI, {seg}-instruction ROB segments"),
+            &run(PipelineConfig { segment: seg, ..PipelineConfig::ci(256) }),
+        );
+    }
+    row(
+        "CI, no re-predict sequences",
+        &run(PipelineConfig { repredict: RepredictMode::None, ..PipelineConfig::ci(256) }),
+    );
+    println!("{t}");
+}

@@ -1,0 +1,97 @@
+//! A domain scenario from the paper's motivation: bytecode-interpreter-style
+//! dispatch (an indirect jump per operation, data-dependent operator mix) is
+//! the classic control-intensive workload where complete squashing wastes
+//! most of the window. This example builds such an interpreter loop directly
+//! with the assembler, registers the dispatch table for the CFG analysis,
+//! and sweeps window sizes under BASE and CI.
+//!
+//! ```sh
+//! cargo run --release --example interpreter_dispatch
+//! ```
+
+use control_independence::prelude::*;
+
+/// Build an interpreter executing `n` random bytecodes from a 4-op ISA.
+fn build_interpreter(n: i64, seed: u64) -> Program {
+    // Bytecode stream: op in 0..4, skewed like real programs.
+    let mut state = seed | 1;
+    let mut ops = Vec::new();
+    for _ in 0..1024 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = (state >> 33) % 10;
+        ops.push(match r {
+            0..=4 => 0u64, // add       (50%)
+            5..=6 => 1,    // xor       (20%)
+            7..=8 => 2,    // shift     (20%)
+            _ => 3,        // mul       (10%)
+        });
+    }
+    let mut a = Asm::new();
+    a.words(Addr(0x1000), &ops);
+    for (i, case) in ["op_add", "op_xor", "op_shift", "op_mul"].iter().enumerate() {
+        a.word_label(Addr(0x2000 + i as u64), case);
+    }
+    a.li(Reg::R10, 0); // pc of the interpreted program
+    a.li(Reg::R11, n);
+    a.li(Reg::R12, 0x1000);
+    a.li(Reg::R17, 0x2000);
+    a.label("dispatch").expect("label");
+    a.andi(Reg::R1, Reg::R10, 1023);
+    a.add(Reg::R2, Reg::R12, Reg::R1);
+    a.load(Reg::R3, Reg::R2, 0); // opcode
+    a.add(Reg::R4, Reg::R17, Reg::R3);
+    a.load(Reg::R5, Reg::R4, 0); // handler address
+    a.jalr_hinted(Reg::R0, Reg::R5, 0, &["op_add", "op_xor", "op_shift", "op_mul"]);
+    a.label("op_add").expect("label");
+    a.addi(Reg::R6, Reg::R6, 3);
+    a.jump("next");
+    a.label("op_xor").expect("label");
+    a.xori(Reg::R6, Reg::R6, 0x5a);
+    a.srli(Reg::R7, Reg::R6, 2);
+    a.jump("next");
+    a.label("op_shift").expect("label");
+    a.slli(Reg::R6, Reg::R6, 1);
+    a.andi(Reg::R6, Reg::R6, 0xffff);
+    a.jump("next");
+    a.label("op_mul").expect("label");
+    a.li(Reg::R8, 31);
+    a.mul(Reg::R6, Reg::R6, Reg::R8);
+    a.jump("next");
+    a.label("next").expect("label"); // the dispatch loop's reconvergent point
+    a.add(Reg::R13, Reg::R13, Reg::R6); // interpreter state update: CI work
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.blt(Reg::R10, Reg::R11, "dispatch");
+    a.store(Reg::R13, Reg::R0, 0x100);
+    a.halt();
+    a.assemble().expect("interpreter assembles")
+}
+
+fn main() {
+    let program = build_interpreter(8_000, 0xBEEF);
+    println!("interpreter: {} static instructions\n", program.len());
+
+    let mut table = Table::new("Interpreter dispatch: IPC by window size");
+    table.headers(&["window", "BASE", "CI", "CI gain"]);
+    for window in [64, 128, 256, 512] {
+        let base = simulate(&program, PipelineConfig::base(window), 200_000).expect("valid");
+        let ci = simulate(&program, PipelineConfig::ci(window), 200_000).expect("valid");
+        table.row(vec![
+            window.to_string(),
+            format!("{:.2}", base.ipc()),
+            format!("{:.2}", ci.ipc()),
+            format!("{:+.1}%", 100.0 * (ci.ipc() / base.ipc() - 1.0)),
+        ]);
+    }
+    println!("{table}");
+
+    let ci = simulate(&program, PipelineConfig::ci(256), 200_000).expect("valid");
+    println!(
+        "At window 256 the mispredicted dispatches reconverge {:.0}% of the time at the\n\
+         shared 'next' block; each restart removes {:.1} and inserts {:.1} instructions\n\
+         while preserving {:.0} control-independent instructions.",
+        100.0 * ci.reconvergence_rate(),
+        ci.avg_removed(),
+        ci.avg_inserted(),
+        ci.avg_ci(),
+    );
+}

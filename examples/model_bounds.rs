@@ -1,0 +1,68 @@
+//! Section 2 in miniature: bound the benefit of control independence for a
+//! workload with the six idealized machine models, isolating the three
+//! limiting factors (true dependences, false dependences, wasted resources).
+//!
+//! ```sh
+//! cargo run --release --example model_bounds [workload] [instructions]
+//! ```
+
+use control_independence::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "go".to_owned());
+    let instructions: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or(Workload::GoLike);
+
+    let program = workload.build(&WorkloadParams {
+        scale: workload.scale_for(instructions),
+        seed: 0x5EED,
+    });
+    let input = StudyInput::build(&program, instructions).expect("valid program");
+    println!(
+        "{}: {} instructions, {:.1}% misprediction rate, {} mispredictions\n",
+        workload,
+        input.len(),
+        100.0 * input.misprediction_rate(),
+        input.mispredictions()
+    );
+
+    let mut table = Table::new("Idealized model bounds (IPC by window size)");
+    table.headers(&["model", "w=64", "w=128", "w=256", "w=512"]);
+    let mut results = std::collections::HashMap::new();
+    for model in ModelKind::ALL {
+        let mut row = vec![model.name().to_owned()];
+        for window in [64, 128, 256, 512] {
+            let r = simulate_ideal(&input, &IdealConfig { model, window, ..IdealConfig::default() });
+            results.insert((model, window), r.ipc());
+            row.push(format!("{:.2}", r.ipc()));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    let oracle = results[&(ModelKind::Oracle, 256)];
+    let base = results[&(ModelKind::Base, 256)];
+    let wrfd = results[&(ModelKind::WrFd, 256)];
+    let closed = (wrfd - base) / (oracle - base).max(1e-9);
+    println!(
+        "At a 256-entry window, the misprediction gap is {:.2} IPC; full control\n\
+         independence (WR-FD) closes {:.0}% of it — the paper's headline claim is\n\
+         'as much as half'.",
+        oracle - base,
+        100.0 * closed
+    );
+    println!(
+        "Factor isolation: true dependences cost {:.2} IPC (oracle → nWR-nFD),\n\
+         false dependences {:.2} (nWR-nFD → nWR-FD), wasted resources {:.2}\n\
+         (nWR-nFD → WR-nFD).",
+        oracle - results[&(ModelKind::NwrNfd, 256)],
+        results[&(ModelKind::NwrNfd, 256)] - results[&(ModelKind::NwrFd, 256)],
+        results[&(ModelKind::NwrNfd, 256)] - results[&(ModelKind::WrNfd, 256)],
+    );
+}

@@ -1,0 +1,471 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Each function runs the necessary simulations at a caller-chosen
+//! [`Scale`] and returns a [`Table`] whose rows mirror the paper's
+//! presentation, so output can be compared side by side with the original
+//! (see `EXPERIMENTS.md` at the workspace root). The regeneration binaries
+//! in `crates/bench/src/bin/` are thin wrappers over these functions.
+//!
+//! Absolute IPC numbers differ from the paper (different ISA, workload
+//! substitutes and memory system); the comparisons of interest — who wins,
+//! by roughly what factor, where the crossovers are — are the reproduction
+//! targets.
+
+use ci_core::{
+    simulate, CompletionModel, PipelineConfig, Preemption, ReconStrategy, RepredictMode, Stats,
+};
+use ci_ideal::{simulate as simulate_ideal, IdealConfig, ModelKind, StudyInput};
+use ci_isa::Program;
+use ci_report::{f, pct, Table};
+use ci_workloads::{Workload, WorkloadParams};
+
+/// How much dynamic work each experiment simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Target dynamic instructions per workload run.
+    pub instructions: u64,
+    /// Workload data seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default experiment scale (fast enough for the whole suite to run
+    /// in minutes).
+    #[must_use]
+    pub fn default_scale() -> Scale {
+        Scale { instructions: 60_000, seed: 0x5EED }
+    }
+
+    /// Read the scale from `CI_REPRO_INSTRUCTIONS` / `CI_REPRO_SEED`
+    /// environment variables, falling back to the default.
+    #[must_use]
+    pub fn from_env() -> Scale {
+        let mut s = Scale::default_scale();
+        if let Some(v) = std::env::var_os("CI_REPRO_INSTRUCTIONS") {
+            if let Ok(n) = v.to_string_lossy().parse() {
+                s.instructions = n;
+            }
+        }
+        if let Some(v) = std::env::var_os("CI_REPRO_SEED") {
+            if let Ok(n) = v.to_string_lossy().parse() {
+                s.seed = n;
+            }
+        }
+        s
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::default_scale()
+    }
+}
+
+fn program_for(w: Workload, scale: &Scale) -> Program {
+    w.build(&WorkloadParams { scale: w.scale_for(scale.instructions), seed: scale.seed })
+}
+
+fn run(p: &Program, cfg: PipelineConfig, scale: &Scale) -> Stats {
+    simulate(p, cfg, scale.instructions).expect("workloads are valid programs")
+}
+
+/// Table 1: benchmark information (dynamic instruction counts and
+/// misprediction rates under the paper's predictor configuration).
+#[must_use]
+pub fn table1(scale: &Scale) -> Table {
+    let mut t = Table::new("TABLE 1. Benchmark information.");
+    t.headers(&["benchmark", "instruction count", "misprediction rate", "paper"]);
+    let paper = ["8.3%", "16.7%", "9.1%", "6.8%", "1.4%"];
+    for (w, paper_rate) in Workload::ALL.into_iter().zip(paper) {
+        let p = program_for(w, scale);
+        let input = StudyInput::build(&p, scale.instructions).expect("valid program");
+        t.row(vec![
+            w.name().to_owned(),
+            input.len().to_string(),
+            pct(input.misprediction_rate()),
+            paper_rate.to_owned(),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: IPC of the six idealized models as a function of window size.
+#[must_use]
+pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
+    let mut t = Table::new(
+        "FIGURE 3. Performance of the six control independence models (IPC).",
+    );
+    t.headers(&["benchmark", "window", "oracle", "nWR-nFD", "nWR-FD", "WR-nFD", "WR-FD", "base"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let input = StudyInput::build(&p, scale.instructions).expect("valid program");
+        for &window in windows {
+            let mut row = vec![w.name().to_owned(), window.to_string()];
+            for model in [
+                ModelKind::Oracle,
+                ModelKind::NwrNfd,
+                ModelKind::NwrFd,
+                ModelKind::WrNfd,
+                ModelKind::WrFd,
+                ModelKind::Base,
+            ] {
+                let r = simulate_ideal(&input, &IdealConfig { model, window, ..IdealConfig::default() });
+                row.push(f(r.ipc(), 2));
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// Figures 5 and 6: BASE vs CI vs CI-I IPC for several window sizes, and the
+/// percentage improvement of CI over BASE.
+#[must_use]
+pub fn figure5_6(scale: &Scale, windows: &[usize]) -> (Table, Table) {
+    let mut ipc = Table::new(
+        "FIGURE 5. Performance with and without control independence (IPC).",
+    );
+    ipc.headers(&["benchmark", "window", "BASE", "CI", "CI-I"]);
+    let mut imp = Table::new("FIGURE 6. Percent improvement in IPC due to control independence.");
+    imp.headers(&["benchmark", "window", "CI vs BASE", "CI-I vs CI"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        for &window in windows {
+            let b = run(&p, PipelineConfig::base(window), scale);
+            let c = run(&p, PipelineConfig::ci(window), scale);
+            let i = run(&p, PipelineConfig::ci_instant(window), scale);
+            ipc.row(vec![
+                w.name().to_owned(),
+                window.to_string(),
+                f(b.ipc(), 2),
+                f(c.ipc(), 2),
+                f(i.ipc(), 2),
+            ]);
+            imp.row(vec![
+                w.name().to_owned(),
+                window.to_string(),
+                pct(c.ipc() / b.ipc() - 1.0),
+                pct(i.ipc() / c.ipc() - 1.0),
+            ]);
+        }
+    }
+    (ipc, imp)
+}
+
+/// Table 2: restart/redispatch sequence statistics (window 256).
+#[must_use]
+pub fn table2(scale: &Scale) -> Table {
+    let mut t = Table::new("TABLE 2. Statistics for restart/redispatch sequences (window 256).");
+    t.headers(&[
+        "benchmark",
+        "% reconverge",
+        "avg removed",
+        "avg inserted",
+        "avg CI instr",
+        "avg CI renamed",
+    ]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let s = run(&p, PipelineConfig::ci(256), scale);
+        t.row(vec![
+            w.name().to_owned(),
+            pct(s.reconvergence_rate()),
+            f(s.avg_removed(), 1),
+            f(s.avg_inserted(), 1),
+            f(s.avg_ci(), 1),
+            f(s.avg_ci_renamed(), 2),
+        ]);
+    }
+    t
+}
+
+/// Table 3: work saved by control independence, as fractions of retired
+/// instructions (window 256).
+#[must_use]
+pub fn table3(scale: &Scale) -> Table {
+    let mut t = Table::new("TABLE 3. Work saved by exploiting control independence (window 256).");
+    t.headers(&["benchmark", "fetch saved", "work saved", "work discarded", "had only fetched"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let s = run(&p, PipelineConfig::ci(256), scale);
+        let (fs, ws, wd, of) = s.work_saved_fractions();
+        t.row(vec![w.name().to_owned(), pct(fs), pct(ws), pct(wd), pct(of)]);
+    }
+    t
+}
+
+/// Table 4: instruction issues per retired instruction, with and without
+/// control independence (window 256).
+#[must_use]
+pub fn table4(scale: &Scale) -> Table {
+    let mut t = Table::new("TABLE 4. Instruction issues per retired instruction (window 256).");
+    t.headers(&[
+        "benchmark",
+        "base total",
+        "base mem",
+        "CI total",
+        "CI mem",
+        "CI reg",
+    ]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let b = run(&p, PipelineConfig::base(256), scale);
+        let c = run(&p, PipelineConfig::ci(256), scale);
+        t.row(vec![
+            w.name().to_owned(),
+            f(b.issues_per_retired(), 2),
+            f(b.mem_violations_per_retired(), 3),
+            f(c.issues_per_retired(), 2),
+            f(c.mem_violations_per_retired(), 3),
+            f(c.reg_violations_per_retired(), 3),
+        ]);
+    }
+    t
+}
+
+/// Figure 8: simple vs optimal preemption of restart sequences (window 256).
+#[must_use]
+pub fn figure8(scale: &Scale) -> Table {
+    let mut t = Table::new("FIGURE 8. Simple vs optimal preemption (window 256).");
+    t.headers(&["benchmark", "simple IPC", "optimal IPC", "optimal gain", "avg restart cycles"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let s = run(
+            &p,
+            PipelineConfig { preemption: Preemption::Simple, ..PipelineConfig::ci(256) },
+            scale,
+        );
+        let o = run(
+            &p,
+            PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(256) },
+            scale,
+        );
+        t.row(vec![
+            w.name().to_owned(),
+            f(s.ipc(), 2),
+            f(o.ipc(), 2),
+            pct(o.ipc() / s.ipc() - 1.0),
+            f(s.avg_restart_cycles(), 1),
+        ]);
+    }
+    t
+}
+
+/// Figure 9: the branch completion models of Appendix A.2, with and without
+/// oracle suppression of false mispredictions (window 256).
+#[must_use]
+pub fn figure9(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "FIGURE 9. Branch completion models and false mispredictions (IPC, window 256).",
+    );
+    t.headers(&[
+        "benchmark",
+        "non-spec",
+        "spec-D",
+        "spec-D-HFM",
+        "spec-C",
+        "spec-C-HFM",
+        "spec",
+        "spec-HFM",
+    ]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let mut row = vec![w.name().to_owned()];
+        for (m, hfm) in [
+            (CompletionModel::NonSpec, false),
+            (CompletionModel::SpecD, false),
+            (CompletionModel::SpecD, true),
+            (CompletionModel::SpecC, false),
+            (CompletionModel::SpecC, true),
+            (CompletionModel::Spec, false),
+            (CompletionModel::Spec, true),
+        ] {
+            let s = run(
+                &p,
+                PipelineConfig {
+                    completion: m,
+                    hide_false_mispredictions: hfm,
+                    ..PipelineConfig::ci(256)
+                },
+                scale,
+            );
+            row.push(f(s.ipc(), 2));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 10: cumulative fraction of false mispredictions detectable while
+/// delaying at most 10% / 20% of true mispredictions, per detection scheme.
+///
+/// Runs under the `spec` completion model, where false mispredictions are
+/// most frequent.
+#[must_use]
+pub fn figure10(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "FIGURE 10. Detecting false mispredictions from true/false history (spec model, window 256).",
+    );
+    t.headers(&[
+        "benchmark",
+        "true/false mispred",
+        "static@10%",
+        "static@20%",
+        "dyn(pc)@10%",
+        "dyn(pc)@20%",
+        "dyn(xor)@10%",
+        "dyn(xor)@20%",
+    ]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let s = run(
+            &p,
+            PipelineConfig { completion: CompletionModel::Spec, ..PipelineConfig::ci(256) },
+            scale,
+        );
+        t.row(vec![
+            w.name().to_owned(),
+            format!("{}/{}", s.true_mispredictions, s.false_mispredictions),
+            pct(s.tfr_static.false_coverage_at(0.10)),
+            pct(s.tfr_static.false_coverage_at(0.20)),
+            pct(s.tfr_dynamic_pc.false_coverage_at(0.10)),
+            pct(s.tfr_dynamic_pc.false_coverage_at(0.20)),
+            pct(s.tfr_dynamic_xor.false_coverage_at(0.10)),
+            pct(s.tfr_dynamic_xor.false_coverage_at(0.20)),
+        ]);
+    }
+    t
+}
+
+/// Figure 12: impact of predicting with the architecturally correct
+/// ("oracle") global branch history (window 256).
+#[must_use]
+pub fn figure12(scale: &Scale) -> Table {
+    let mut t = Table::new("FIGURE 12. Impact of oracle global branch history (window 256).");
+    t.headers(&["benchmark", "CI IPC", "CI + oracle GHR", "delta"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let c = run(&p, PipelineConfig::ci(256), scale);
+        let o = run(&p, PipelineConfig { oracle_ghr: true, ..PipelineConfig::ci(256) }, scale);
+        t.row(vec![
+            w.name().to_owned(),
+            f(c.ipc(), 2),
+            f(o.ipc(), 2),
+            pct(o.ipc() / c.ipc() - 1.0),
+        ]);
+    }
+    t
+}
+
+/// Figure 13: the value of re-predict sequences — BASE, CI with no
+/// re-prediction (CI-NR), the CI heuristic, and oracle re-prediction (CI-OR)
+/// (window 256).
+#[must_use]
+pub fn figure13(scale: &Scale) -> Table {
+    let mut t = Table::new("FIGURE 13. Evaluation of re-predictions (IPC, window 256).");
+    t.headers(&["benchmark", "base", "CI-NR", "CI", "CI-OR"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let b = run(&p, PipelineConfig::base(256), scale);
+        let mut row = vec![w.name().to_owned(), f(b.ipc(), 2)];
+        for rp in [RepredictMode::None, RepredictMode::Heuristic, RepredictMode::Oracle] {
+            let s = run(&p, PipelineConfig { repredict: rp, ..PipelineConfig::ci(256) }, scale);
+            row.push(f(s.ipc(), 2));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 14: ROB segment size (1/4/16 instructions, 256-instruction window).
+#[must_use]
+pub fn figure14(scale: &Scale) -> Table {
+    let mut t = Table::new("FIGURE 14. Varying ROB segment size (window 256).");
+    t.headers(&["benchmark", "base", "seg=1", "seg=4", "seg=16", "imp@1", "imp@4", "imp@16"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let b = run(&p, PipelineConfig::base(256), scale);
+        let mut ipcs = Vec::new();
+        for seg in [1usize, 4, 16] {
+            let s = run(&p, PipelineConfig { segment: seg, ..PipelineConfig::ci(256) }, scale);
+            ipcs.push(s.ipc());
+        }
+        t.row(vec![
+            w.name().to_owned(),
+            f(b.ipc(), 2),
+            f(ipcs[0], 2),
+            f(ipcs[1], 2),
+            f(ipcs[2], 2),
+            pct(ipcs[0] / b.ipc() - 1.0),
+            pct(ipcs[1] / b.ipc() - 1.0),
+            pct(ipcs[2] / b.ipc() - 1.0),
+        ]);
+    }
+    t
+}
+
+/// Figure 17: hardware heuristics for identifying reconvergent points,
+/// as percentage IPC improvement over the BASE machine (window 256).
+#[must_use]
+pub fn figure17(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "FIGURE 17. Instruction-type heuristics for reconvergent points (% IPC improvement over base, window 256).",
+    );
+    t.headers(&["benchmark", "return", "loop", "ltb", "return/loop", "return/ltb", "loop/ltb", "all", "CI (postdom)"]);
+    let combos: [(&str, ReconStrategy); 7] = [
+        ("return", ReconStrategy::hardware(true, false, false)),
+        ("loop", ReconStrategy::hardware(false, true, false)),
+        ("ltb", ReconStrategy::hardware(false, false, true)),
+        ("return/loop", ReconStrategy::hardware(true, true, false)),
+        ("return/ltb", ReconStrategy::hardware(true, false, true)),
+        ("loop/ltb", ReconStrategy::hardware(false, true, true)),
+        ("all", ReconStrategy::hardware(true, true, true)),
+    ];
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let b = run(&p, PipelineConfig::base(256), scale);
+        let mut row = vec![w.name().to_owned()];
+        for (_, recon) in combos {
+            let s = run(&p, PipelineConfig { recon, ..PipelineConfig::ci(256) }, scale);
+            row.push(pct(s.ipc() / b.ipc() - 1.0));
+        }
+        let sw = run(&p, PipelineConfig::ci(256), scale);
+        row.push(pct(sw.ipc() / b.ipc() - 1.0));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { instructions: 4_000, seed: 7 }
+    }
+
+    #[test]
+    fn table1_has_five_rows() {
+        let t = table1(&tiny());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn figure3_covers_models_and_windows() {
+        let t = figure3(&tiny(), &[32, 64]);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn figure5_6_consistent() {
+        let (ipc, imp) = figure5_6(&tiny(), &[64]);
+        assert_eq!(ipc.len(), 5);
+        assert_eq!(imp.len(), 5);
+    }
+
+    #[test]
+    fn scale_from_env_defaults() {
+        let s = Scale::from_env();
+        assert!(s.instructions > 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Workspace-level integration tests: cross-crate invariants tying the
+//! functional emulator, the idealized models, and the detailed pipeline
+//! together on the real workloads.
+
+use control_independence::prelude::*;
+
+const INSTS: u64 = 25_000;
+
+fn program(w: Workload) -> Program {
+    w.build(&WorkloadParams { scale: w.scale_for(INSTS), seed: 0x5EED })
+}
+
+#[test]
+fn detailed_simulator_is_bounded_by_ideal_models() {
+    // The detailed machine (real cache, restart latencies, speculative
+    // history) must not outperform the idealized oracle, and the idealized
+    // base (ideal cache) should not fall below the detailed BASE by much.
+    for w in [Workload::GoLike, Workload::JpegLike] {
+        let p = program(w);
+        let input = StudyInput::build(&p, INSTS).unwrap();
+        let oracle = simulate_ideal(
+            &input,
+            &IdealConfig { model: ModelKind::Oracle, window: 256, ..IdealConfig::default() },
+        );
+        let ci = simulate(&p, PipelineConfig::ci(256), INSTS).unwrap();
+        assert!(
+            ci.ipc() <= oracle.ipc() * 1.02,
+            "{w}: detailed CI {:.2} exceeds ideal oracle {:.2}",
+            ci.ipc(),
+            oracle.ipc()
+        );
+    }
+}
+
+#[test]
+fn all_machines_retire_the_functional_trace() {
+    for w in Workload::ALL {
+        let p = program(w);
+        let trace_len = run_trace(&p, INSTS).unwrap().len() as u64;
+        for cfg in [PipelineConfig::base(128), PipelineConfig::ci(128)] {
+            let s = simulate(&p, cfg, INSTS).unwrap();
+            assert_eq!(s.retired, trace_len, "{w}");
+        }
+    }
+}
+
+#[test]
+fn workload_misprediction_rates_near_paper_targets() {
+    // Engineered bands around the paper's Table 1 rates (wider than the
+    // paper's numbers because short runs have cold predictors).
+    let bands = [
+        (Workload::GccLike, 0.05, 0.15),
+        (Workload::GoLike, 0.13, 0.30),
+        (Workload::CompressLike, 0.05, 0.14),
+        (Workload::JpegLike, 0.04, 0.15),
+        (Workload::VortexLike, 0.002, 0.05),
+    ];
+    for (w, lo, hi) in bands {
+        let p = w.build(&WorkloadParams { scale: w.scale_for(120_000), seed: 0x5EED });
+        let input = StudyInput::build(&p, 120_000).unwrap();
+        let r = input.misprediction_rate();
+        assert!(
+            (lo..=hi).contains(&r),
+            "{w}: misprediction rate {:.3} outside [{lo}, {hi}]",
+            r
+        );
+    }
+}
+
+#[test]
+fn control_independence_helps_where_the_paper_says() {
+    // CI over BASE: large for control-intensive workloads, negligible for
+    // vortex (the paper's most predictable benchmark).
+    let mut improvements = Vec::new();
+    for w in Workload::ALL {
+        let p = program(w);
+        let b = simulate(&p, PipelineConfig::base(256), INSTS).unwrap();
+        let c = simulate(&p, PipelineConfig::ci(256), INSTS).unwrap();
+        improvements.push((w, c.ipc() / b.ipc() - 1.0));
+    }
+    let get = |w: Workload| improvements.iter().find(|(x, _)| *x == w).unwrap().1;
+    assert!(get(Workload::GoLike) > 0.10, "go: {:+.1}%", 100.0 * get(Workload::GoLike));
+    assert!(get(Workload::GccLike) > 0.05, "gcc: {:+.1}%", 100.0 * get(Workload::GccLike));
+    assert!(
+        get(Workload::VortexLike) < get(Workload::GoLike),
+        "vortex should benefit least"
+    );
+    for (w, imp) in &improvements {
+        assert!(*imp > -0.05, "{w}: CI must not hurt materially ({imp:+.2})");
+    }
+}
+
+#[test]
+fn ideal_model_ordering_holds_on_workloads() {
+    for w in [Workload::GoLike, Workload::CompressLike] {
+        let p = program(w);
+        let input = StudyInput::build(&p, INSTS).unwrap();
+        let ipc = |m| {
+            simulate_ideal(&input, &IdealConfig { model: m, window: 256, ..IdealConfig::default() })
+                .ipc()
+        };
+        let oracle = ipc(ModelKind::Oracle);
+        let nwr_nfd = ipc(ModelKind::NwrNfd);
+        let wr_fd = ipc(ModelKind::WrFd);
+        let base = ipc(ModelKind::Base);
+        assert!(oracle >= nwr_nfd * 0.98, "{w}");
+        assert!(nwr_nfd >= wr_fd * 0.99, "{w}");
+        assert!(wr_fd > base, "{w}: CI models must beat complete squashing");
+    }
+}
+
+#[test]
+fn compress_is_the_false_dependence_outlier() {
+    // The paper's compress collapses under nWR-FD; ours must show the same
+    // signature: FD costs compress more than WR does.
+    let w = Workload::CompressLike;
+    let p = w.build(&WorkloadParams { scale: w.scale_for(60_000), seed: 0x5EED });
+    let input = StudyInput::build(&p, 60_000).unwrap();
+    let ipc = |m| {
+        simulate_ideal(&input, &IdealConfig { model: m, window: 256, ..IdealConfig::default() })
+            .ipc()
+    };
+    let fd_drop = ipc(ModelKind::NwrNfd) - ipc(ModelKind::NwrFd);
+    let wr_drop = ipc(ModelKind::NwrNfd) - ipc(ModelKind::WrNfd);
+    assert!(
+        fd_drop > wr_drop,
+        "compress: FD drop {fd_drop:.2} should exceed WR drop {wr_drop:.2}"
+    );
+    assert!(fd_drop > 0.2, "compress FD drop should be material: {fd_drop:.2}");
+}
+
+#[test]
+fn experiment_tables_have_expected_shape() {
+    use control_independence::experiments::{self, Scale};
+    let scale = Scale { instructions: 6_000, seed: 0x5EED };
+    assert_eq!(experiments::table2(&scale).len(), 5);
+    assert_eq!(experiments::table3(&scale).len(), 5);
+    assert_eq!(experiments::table4(&scale).len(), 5);
+    assert_eq!(experiments::figure13(&scale).len(), 5);
+}
