@@ -8,7 +8,10 @@ use std::hint::black_box;
 fn bench_emulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("emulator");
     for w in [Workload::GoLike, Workload::CompressLike] {
-        let p = w.build(&WorkloadParams { scale: w.scale_for(20_000), seed: 1 });
+        let p = w.build(&WorkloadParams {
+            scale: w.scale_for(20_000),
+            seed: 1,
+        });
         let n = run_trace(&p, 30_000).unwrap().len() as u64;
         g.throughput(Throughput::Elements(n));
         g.bench_function(w.name(), |b| {

@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 fn bench_ideal(c: &mut Criterion) {
     let w = Workload::GoLike;
-    let p = w.build(&WorkloadParams { scale: w.scale_for(20_000), seed: 1 });
+    let p = w.build(&WorkloadParams {
+        scale: w.scale_for(20_000),
+        seed: 1,
+    });
     let input = StudyInput::build(&p, 20_000).unwrap();
     let mut g = c.benchmark_group("ideal");
     g.throughput(Throughput::Elements(input.len() as u64));
@@ -16,7 +19,11 @@ fn bench_ideal(c: &mut Criterion) {
             b.iter(|| {
                 black_box(simulate(
                     &input,
-                    &IdealConfig { model, window: 256, ..IdealConfig::default() },
+                    &IdealConfig {
+                        model,
+                        window: 256,
+                        ..IdealConfig::default()
+                    },
                 ))
             });
         });

@@ -1,0 +1,51 @@
+//! Cost of the observability layer: the same CI pipeline simulation with
+//! the default [`NoopProbe`] (statically monomorphized away), with the
+//! histogram-collecting [`MetricsProbe`], and with a bounded
+//! [`FlightRecorder`] attached.
+//!
+//! The acceptance bar for the probe seam itself is `noop` staying within
+//! ~2% of the pre-probe baseline (`pipeline/ci_w256` tracks the plain
+//! `simulate` path, which uses `NoopProbe` internally).
+
+use ci_core::{simulate, simulate_probed, PipelineConfig};
+use ci_obs::{FlightRecorder, MetricsProbe, NoopProbe};
+use ci_workloads::{Workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let w = Workload::GoLike;
+    let p = w.build(&WorkloadParams {
+        scale: w.scale_for(10_000),
+        seed: 1,
+    });
+    let cfg = PipelineConfig::ci(256);
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("noop", |b| {
+        b.iter(|| black_box(simulate(&p, cfg, 10_000).unwrap().cycles));
+    });
+    g.bench_function("noop_explicit", |b| {
+        b.iter(|| {
+            let (s, _) = simulate_probed(&p, cfg, 10_000, NoopProbe).unwrap();
+            black_box(s.cycles)
+        });
+    });
+    g.bench_function("metrics", |b| {
+        b.iter(|| {
+            let (s, probe) = simulate_probed(&p, cfg, 10_000, MetricsProbe::new()).unwrap();
+            black_box((s.cycles, probe.occupancy.count()))
+        });
+    });
+    g.bench_function("flight_recorder", |b| {
+        b.iter(|| {
+            let (s, probe) = simulate_probed(&p, cfg, 10_000, FlightRecorder::new()).unwrap();
+            black_box((s.cycles, probe.events().count()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

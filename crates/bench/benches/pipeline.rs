@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let w = Workload::GoLike;
-    let p = w.build(&WorkloadParams { scale: w.scale_for(10_000), seed: 1 });
+    let p = w.build(&WorkloadParams {
+        scale: w.scale_for(10_000),
+        seed: 1,
+    });
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.throughput(Throughput::Elements(10_000));

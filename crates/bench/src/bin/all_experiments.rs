@@ -1,24 +1,32 @@
 //! Regenerates every table and figure in one run (the full evaluation).
+//! Pass `--json <path>` to also export every table as JSON lines.
 
+use ci_bench::cli::Emitter;
 use control_independence::experiments as ex;
 
 fn main() {
+    let (mut out, _) = Emitter::from_args();
     let scale = ex::Scale::from_env();
     println!("# Control-independence reproduction — full evaluation");
-    println!("# instructions per workload: {}, seed: {:#x}\n", scale.instructions, scale.seed);
-    println!("{}", ex::table1(&scale));
-    println!("{}", ex::figure3(&scale, &[32, 64, 128, 256, 512]));
+    println!(
+        "# instructions per workload: {}, seed: {:#x}\n",
+        scale.instructions, scale.seed
+    );
+    out.table(&ex::table1(&scale));
+    out.table(&ex::figure3(&scale, &[32, 64, 128, 256, 512]));
     let (ipc, imp) = ex::figure5_6(&scale, &[128, 256, 512]);
-    println!("{ipc}");
-    println!("{imp}");
-    println!("{}", ex::table2(&scale));
-    println!("{}", ex::table3(&scale));
-    println!("{}", ex::table4(&scale));
-    println!("{}", ex::figure8(&scale));
-    println!("{}", ex::figure9(&scale));
-    println!("{}", ex::figure10(&scale));
-    println!("{}", ex::figure12(&scale));
-    println!("{}", ex::figure13(&scale));
-    println!("{}", ex::figure14(&scale));
-    println!("{}", ex::figure17(&scale));
+    out.table(&ipc);
+    out.table(&imp);
+    out.table(&ex::table2(&scale));
+    out.table(&ex::table3(&scale));
+    out.table(&ex::table4(&scale));
+    out.table(&ex::figure8(&scale));
+    out.table(&ex::figure9(&scale));
+    out.table(&ex::figure10(&scale));
+    out.table(&ex::figure12(&scale));
+    out.table(&ex::figure13(&scale));
+    out.table(&ex::figure14(&scale));
+    out.table(&ex::figure17(&scale));
+    out.table(&ex::distributions(&scale));
+    out.finish();
 }

@@ -1,8 +1,12 @@
-//! Regenerates the paper's fig13. Scale with `CI_REPRO_INSTRUCTIONS`.
+//! Regenerates the paper's fig13. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! pass `--json <path>` to also export the table as JSON lines.
 
+use ci_bench::cli::Emitter;
 use control_independence::experiments::{figure13, Scale};
 
 fn main() {
+    let (mut out, _) = Emitter::from_args();
     let scale = Scale::from_env();
-    println!("{}", figure13(&scale));
+    out.table(&figure13(&scale));
+    out.finish();
 }

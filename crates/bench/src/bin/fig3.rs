@@ -1,8 +1,12 @@
 //! Regenerates Figure 3: the six idealized models vs window size.
+//! Pass `--json <path>` to also export the table as JSON lines.
 
+use ci_bench::cli::Emitter;
 use control_independence::experiments::{figure3, Scale};
 
 fn main() {
+    let (mut out, _) = Emitter::from_args();
     let scale = Scale::from_env();
-    println!("{}", figure3(&scale, &[32, 64, 128, 256, 512]));
+    out.table(&figure3(&scale, &[32, 64, 128, 256, 512]));
+    out.finish();
 }

@@ -1,10 +1,14 @@
 //! Regenerates Figures 5 and 6: BASE vs CI vs CI-I and % improvement.
+//! Pass `--json <path>` to also export both tables as JSON lines.
 
+use ci_bench::cli::Emitter;
 use control_independence::experiments::{figure5_6, Scale};
 
 fn main() {
+    let (mut out, _) = Emitter::from_args();
     let scale = Scale::from_env();
     let (ipc, imp) = figure5_6(&scale, &[128, 256, 512]);
-    println!("{ipc}");
-    println!("{imp}");
+    out.table(&ipc);
+    out.table(&imp);
+    out.finish();
 }

@@ -1,20 +1,42 @@
 //! Inspect a workload: disassembly, basic blocks, immediate post-dominators,
-//! the per-branch reconvergence map, and a quick BASE-vs-CI run.
+//! the per-branch reconvergence map, a quick BASE-vs-CI run, and a probed
+//! post-mortem: event-distribution histograms plus a per-cycle pipeline
+//! occupancy timeline for a chosen range of retired instructions.
 //!
 //! ```sh
 //! cargo run --release -p ci-bench --bin inspect -- go
 //! cargo run --release -p ci-bench --bin inspect -- compress 50000
+//! cargo run --release -p ci-bench --bin inspect -- go 30000 --timeline 100:180
+//! cargo run --release -p ci-bench --bin inspect -- go 30000 --json go.jsonl
 //! ```
 
-use control_independence::prelude::*;
+use ci_bench::cli::Emitter;
 use control_independence::ci_cfg::{Cfg, PostDominators, ReconvergenceMap};
+use control_independence::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "go".to_owned());
-    let instructions: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30_000);
+    let (mut out, mut args) = Emitter::from_args();
+    // --timeline <first>:<last> (0-based retired-instruction indices).
+    let mut timeline_range: Option<(u64, u64)> = None;
+    if let Some(i) = args.iter().position(|a| a == "--timeline") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--timeline requires a <first>:<last> range");
+            std::process::exit(2);
+        };
+        let parts: Vec<&str> = spec.splitn(2, ':').collect();
+        let parsed = match parts.as_slice() {
+            [a, b] => a.parse().ok().zip(b.parse().ok()),
+            _ => None,
+        };
+        let Some((first, last)) = parsed else {
+            eprintln!("cannot parse --timeline range `{spec}` (want e.g. 100:180)");
+            std::process::exit(2);
+        };
+        timeline_range = Some((first, last));
+        args.drain(i..=i + 1);
+    }
+    let name = args.first().cloned().unwrap_or_else(|| "go".to_owned());
+    let instructions: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
     let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == name) else {
         eprintln!(
             "unknown workload `{name}`; choose one of: {}",
@@ -68,7 +90,10 @@ fn main() {
     }
 
     println!("\n== {instructions}-instruction run ==");
-    for (label, cfg) in [("BASE", PipelineConfig::base(256)), ("CI", PipelineConfig::ci(256))] {
+    for (label, cfg) in [
+        ("BASE", PipelineConfig::base(256)),
+        ("CI", PipelineConfig::ci(256)),
+    ] {
         let s = simulate(&program, cfg, instructions).expect("workload runs");
         println!(
             "  {label:<4} {:.2} IPC, {} cycles, {} recoveries ({:.0}% reconverged), \
@@ -80,4 +105,37 @@ fn main() {
             s.issues_per_retired(),
         );
     }
+
+    // Probed CI run: metrics histograms + the per-cycle timeline.
+    let probe = (MetricsProbe::new(), TimelineProbe::new());
+    let (stats, (metrics, mut timeline)) =
+        simulate_probed(&program, PipelineConfig::ci(256), instructions, probe)
+            .expect("workload runs");
+    timeline.finish();
+    let registry = metrics.registry();
+
+    println!("\n== CI event distributions ==");
+    for name in [
+        "restart_length_cycles",
+        "restart_inserted",
+        "recon_distance",
+        "window_occupancy",
+        "reissues_per_retired",
+    ] {
+        let h = registry
+            .histogram(name)
+            .unwrap_or_else(|| panic!("MetricsProbe registry always exports `{name}`"));
+        println!("  {name:<22} {}", h.summary());
+    }
+
+    let (first, last) = timeline_range.unwrap_or_else(|| {
+        let end = stats.retired.saturating_sub(1);
+        (stats.retired.saturating_sub(64), end)
+    });
+    println!("\n== CI pipeline timeline (retired instructions {first}..={last}) ==");
+    let records = timeline.cycles_for_retired_range(first, last, 2);
+    print!("{}", TimelineProbe::render(records, 256));
+
+    out.raw_jsonl(&registry.to_jsonl(&[("workload", workload.name()), ("config", "ci_w256")]));
+    out.finish();
 }

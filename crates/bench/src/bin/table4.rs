@@ -1,8 +1,12 @@
-//! Regenerates the paper's table4. Scale with `CI_REPRO_INSTRUCTIONS`.
+//! Regenerates the paper's table4. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! pass `--json <path>` to also export the table as JSON lines.
 
+use ci_bench::cli::Emitter;
 use control_independence::experiments::{table4, Scale};
 
 fn main() {
+    let (mut out, _) = Emitter::from_args();
     let scale = Scale::from_env();
-    println!("{}", table4(&scale));
+    out.table(&table4(&scale));
+    out.finish();
 }

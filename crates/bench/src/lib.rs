@@ -4,3 +4,93 @@
 //! (see `DESIGN.md` for the index); the Criterion benches under `benches/`
 //! track the *simulator's own* performance. Scale the experiments with
 //! `CI_REPRO_INSTRUCTIONS=<n>`.
+//!
+//! Every binary accepts `--json <path>`: the tables it prints are also
+//! exported as JSON lines (one object per table row) to `path`, via
+//! [`cli::Emitter`].
+
+pub mod cli {
+    //! Shared command-line plumbing for the experiment binaries: the
+    //! `--json <path>` flag and the table emitter behind it.
+
+    use control_independence::ci_report::Table;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Prints tables to stdout and, when `--json <path>` was given,
+    /// accumulates their JSON-lines export for writing at [`Emitter::finish`].
+    #[derive(Debug, Default)]
+    pub struct Emitter {
+        path: Option<PathBuf>,
+        buf: String,
+    }
+
+    impl Emitter {
+        /// Parse `--json <path>` out of the process arguments, returning the
+        /// emitter and the remaining (positional) arguments. Exits with a
+        /// usage message if `--json` is present without a path.
+        #[must_use]
+        pub fn from_args() -> (Emitter, Vec<String>) {
+            let mut path = None;
+            let mut rest = Vec::new();
+            let mut args = std::env::args().skip(1);
+            while let Some(a) = args.next() {
+                if a == "--json" {
+                    match args.next() {
+                        Some(p) => path = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("--json requires a path argument");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    rest.push(a);
+                }
+            }
+            (
+                Emitter {
+                    path,
+                    buf: String::new(),
+                },
+                rest,
+            )
+        }
+
+        /// Whether `--json` was requested.
+        #[must_use]
+        pub fn json_enabled(&self) -> bool {
+            self.path.is_some()
+        }
+
+        /// Print `table` to stdout and stage its JSON-lines export.
+        pub fn table(&mut self, table: &Table) {
+            println!("{table}");
+            if self.path.is_some() {
+                self.buf.push_str(&table.to_jsonl());
+            }
+        }
+
+        /// Stage raw, pre-rendered JSON lines (metric registries and other
+        /// non-tabular exports). Ignored unless `--json` was requested.
+        pub fn raw_jsonl(&mut self, lines: &str) {
+            if self.path.is_some() {
+                self.buf.push_str(lines);
+                if !lines.ends_with('\n') {
+                    self.buf.push('\n');
+                }
+            }
+        }
+
+        /// Write the staged JSON lines to the `--json` path, if any.
+        /// Panics on I/O failure — these are batch experiment binaries and a
+        /// silently dropped export would defeat the point.
+        pub fn finish(&mut self) {
+            if let Some(path) = self.path.take() {
+                let mut f = std::fs::File::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+                f.write_all(self.buf.as_bytes())
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            }
+        }
+    }
+}

@@ -179,7 +179,10 @@ mod tests {
             g.update(Pc(8), h, taken);
             h.push(taken);
         }
-        assert_eq!(correct, total, "alternating pattern should be fully learned");
+        assert_eq!(
+            correct, total,
+            "alternating pattern should be fully learned"
+        );
     }
 
     #[test]

@@ -32,14 +32,20 @@ impl ReturnAddressStack {
     /// An unbounded ("perfect") stack.
     #[must_use]
     pub fn perfect() -> ReturnAddressStack {
-        ReturnAddressStack { stack: Vec::new(), max_depth: None }
+        ReturnAddressStack {
+            stack: Vec::new(),
+            max_depth: None,
+        }
     }
 
     /// A stack bounded to `depth` entries; pushes beyond the bound drop the
     /// oldest entry (a real hardware RAS overwrites circularly).
     #[must_use]
     pub fn bounded(depth: usize) -> ReturnAddressStack {
-        ReturnAddressStack { stack: Vec::new(), max_depth: Some(depth) }
+        ReturnAddressStack {
+            stack: Vec::new(),
+            max_depth: Some(depth),
+        }
     }
 
     /// Push a return address (on a call).

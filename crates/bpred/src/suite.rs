@@ -19,7 +19,11 @@ impl PredictorConfig {
     /// The paper's configuration: 2^16 gshare, 2^16 CTB, perfect RAS.
     #[must_use]
     pub fn paper_default() -> PredictorConfig {
-        PredictorConfig { gshare_bits: 16, ctb_bits: 16, ras_depth: None }
+        PredictorConfig {
+            gshare_bits: 16,
+            ctb_bits: 16,
+            ras_depth: None,
+        }
     }
 }
 
@@ -107,7 +111,10 @@ impl PredictorSuite {
                 let next_pc = if pred_taken { target } else { fallthrough };
                 self.gshare.update(pc, self.hist, taken);
                 self.hist.push(taken);
-                Prediction { next_pc, taken: Some(pred_taken) }
+                Prediction {
+                    next_pc,
+                    taken: Some(pred_taken),
+                }
             }
             InstClass::Jump => Prediction {
                 next_pc: inst.static_target().unwrap_or(fallthrough),
@@ -122,7 +129,10 @@ impl PredictorSuite {
             }
             InstClass::Return => {
                 let next_pc = self.ras.pop().unwrap_or(fallthrough);
-                Prediction { next_pc, taken: None }
+                Prediction {
+                    next_pc,
+                    taken: None,
+                }
             }
             InstClass::IndirectJump => {
                 let next_pc = self.ctb.predict(pc, self.hist).unwrap_or(fallthrough);
@@ -131,9 +141,15 @@ impl PredictorSuite {
                     // Indirect call: push the return address.
                     self.ras.push(fallthrough);
                 }
-                Prediction { next_pc, taken: None }
+                Prediction {
+                    next_pc,
+                    taken: None,
+                }
             }
-            _ => Prediction { next_pc: fallthrough, taken: None },
+            _ => Prediction {
+                next_pc: fallthrough,
+                taken: None,
+            },
         }
     }
 }
@@ -179,7 +195,11 @@ mod tests {
         a.bne(Reg::R1, Reg::R0, Pc(0));
         let p = a.assemble().unwrap();
         let inst = *p.fetch(Pc(0)).unwrap();
-        let mut s = PredictorSuite::new(PredictorConfig { gshare_bits: 10, ctb_bits: 4, ras_depth: None });
+        let mut s = PredictorSuite::new(PredictorConfig {
+            gshare_bits: 10,
+            ctb_bits: 4,
+            ras_depth: None,
+        });
         // Alternating outcomes become perfectly predictable with history.
         let mut correct = 0;
         for i in 0..200 {

@@ -43,7 +43,10 @@ impl TfrTable {
     #[must_use]
     pub fn new(index_bits: u32) -> TfrTable {
         assert!((1..=28).contains(&index_bits), "index_bits out of range");
-        TfrTable { regs: vec![0; 1 << index_bits], index_bits }
+        TfrTable {
+            regs: vec![0; 1 << index_bits],
+            index_bits,
+        }
     }
 
     /// The paper's configuration: 2^16 registers.
@@ -69,7 +72,13 @@ impl TfrTable {
 
     /// Record an apparent misprediction: `false_mispred` is whether it was a
     /// false one.
-    pub fn record(&mut self, pc: Pc, hist: GlobalHistory, indexing: TfrIndexing, false_mispred: bool) {
+    pub fn record(
+        &mut self,
+        pc: Pc,
+        hist: GlobalHistory,
+        indexing: TfrIndexing,
+        false_mispred: bool,
+    ) {
         let i = self.index(pc, hist, indexing);
         self.regs[i] = (self.regs[i] << 1) | u16::from(false_mispred);
     }
@@ -104,7 +113,7 @@ pub struct CoveragePoint {
 /// assert_eq!(curve[0].cum_false, 1.0);
 /// assert_eq!(curve[0].cum_true, 0.0);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TfrStats {
     counts: HashMap<u64, (u64, u64)>, // key -> (true, false)
 }
@@ -157,8 +166,16 @@ impl TfrStats {
             ct += t;
             cf += f;
             out.push(CoveragePoint {
-                cum_true: if total_t == 0 { 0.0 } else { ct as f64 / total_t as f64 },
-                cum_false: if total_f == 0 { 0.0 } else { cf as f64 / total_f as f64 },
+                cum_true: if total_t == 0 {
+                    0.0
+                } else {
+                    ct as f64 / total_t as f64
+                },
+                cum_false: if total_f == 0 {
+                    0.0
+                } else {
+                    cf as f64 / total_f as f64
+                },
             });
         }
         out

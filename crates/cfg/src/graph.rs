@@ -108,12 +108,20 @@ impl Cfg {
                     break;
                 }
             }
-            debug_assert_eq!(end, next_leader - 1, "control insts always start a new block after");
+            debug_assert_eq!(
+                end,
+                next_leader - 1,
+                "control insts always start a new block after"
+            );
             let id = BlockId(bi as u32);
             for slot in &mut block_of[start.index()..=end] {
                 *slot = id;
             }
-            blocks.push(BasicBlock { start, end: Pc(end as u32), succs: Vec::new() });
+            blocks.push(BasicBlock {
+                start,
+                end: Pc(end as u32),
+                succs: Vec::new(),
+            });
         }
 
         let exit = BlockId(blocks.len() as u32);
@@ -179,7 +187,11 @@ impl Cfg {
             }
         }
 
-        Cfg { blocks, block_of, preds }
+        Cfg {
+            blocks,
+            block_of,
+            preds,
+        }
     }
 
     /// Number of real (non-virtual) blocks.
@@ -224,7 +236,9 @@ impl Cfg {
     /// Successors of `id` (empty for the virtual exit).
     #[must_use]
     pub fn succs(&self, id: BlockId) -> &[BlockId] {
-        self.blocks.get(id.index()).map_or(&[], |b| b.succs.as_slice())
+        self.blocks
+            .get(id.index())
+            .map_or(&[], |b| b.succs.as_slice())
     }
 
     /// Predecessors of `id` (the virtual exit has predecessors too).

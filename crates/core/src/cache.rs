@@ -35,11 +35,22 @@ impl DataCache {
                 hits: 0,
                 misses: 0,
             },
-            CacheModel::Realistic { words, ways, line_words, .. } => {
-                assert!(line_words.is_power_of_two(), "line size must be a power of two");
+            CacheModel::Realistic {
+                words,
+                ways,
+                line_words,
+                ..
+            } => {
+                assert!(
+                    line_words.is_power_of_two(),
+                    "line size must be a power of two"
+                );
                 let lines = words / line_words;
                 let sets = lines / ways;
-                assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+                assert!(
+                    sets.is_power_of_two() && sets > 0,
+                    "set count must be a power of two"
+                );
                 DataCache {
                     model,
                     sets: vec![Vec::new(); sets],
@@ -57,7 +68,9 @@ impl DataCache {
     pub fn access(&mut self, addr: Addr) -> u64 {
         match self.model {
             CacheModel::Ideal { latency } => latency,
-            CacheModel::Realistic { ways, hit, miss, .. } => {
+            CacheModel::Realistic {
+                ways, hit, miss, ..
+            } => {
                 let line = addr.0 >> self.line_shift;
                 let set = &mut self.sets[(line & self.sets_mask) as usize];
                 if let Some(pos) = set.iter().position(|&t| t == line) {
@@ -107,7 +120,13 @@ mod tests {
     #[test]
     fn lru_eviction() {
         // Tiny cache: 2 ways, 1 set, 1-word lines.
-        let model = CacheModel::Realistic { words: 2, ways: 2, line_words: 1, hit: 1, miss: 10 };
+        let model = CacheModel::Realistic {
+            words: 2,
+            ways: 2,
+            line_words: 1,
+            hit: 1,
+            miss: 10,
+        };
         let mut c = DataCache::new(model);
         assert_eq!(c.access(Addr(1)), 10);
         assert_eq!(c.access(Addr(2)), 10);
@@ -120,7 +139,13 @@ mod tests {
     #[test]
     fn conflict_misses_across_sets() {
         // 2 sets, direct mapped, 1-word lines.
-        let model = CacheModel::Realistic { words: 2, ways: 1, line_words: 1, hit: 1, miss: 9 };
+        let model = CacheModel::Realistic {
+            words: 2,
+            ways: 1,
+            line_words: 1,
+            hit: 1,
+            miss: 9,
+        };
         let mut c = DataCache::new(model);
         assert_eq!(c.access(Addr(0)), 9);
         assert_eq!(c.access(Addr(1)), 9); // different set

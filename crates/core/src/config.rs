@@ -33,13 +33,23 @@ impl ReconStrategy {
     /// configuration).
     #[must_use]
     pub fn software() -> ReconStrategy {
-        ReconStrategy { postdominator: true, returns: false, loops: false, ltb: false }
+        ReconStrategy {
+            postdominator: true,
+            returns: false,
+            loops: false,
+            ltb: false,
+        }
     }
 
     /// Hardware-only heuristics (Figure 17 configurations).
     #[must_use]
     pub fn hardware(returns: bool, loops: bool, ltb: bool) -> ReconStrategy {
-        ReconStrategy { postdominator: false, returns, loops, ltb }
+        ReconStrategy {
+            postdominator: false,
+            returns,
+            loops,
+            ltb,
+        }
     }
 }
 
@@ -273,8 +283,13 @@ mod tests {
 
     #[test]
     fn paper_cache_geometry() {
-        if let CacheModel::Realistic { words, ways, line_words, hit, miss } =
-            CacheModel::paper_realistic()
+        if let CacheModel::Realistic {
+            words,
+            ways,
+            line_words,
+            hit,
+            miss,
+        } = CacheModel::paper_realistic()
         {
             assert_eq!(words, 8192);
             assert_eq!(ways, 4);

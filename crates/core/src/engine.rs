@@ -14,6 +14,7 @@ use crate::stats::Stats;
 use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack, TfrTable};
 use ci_emu::{run_trace, DynInst, EmuError, Memory};
 use ci_isa::{Addr, Inst, InstClass, Pc, Program, Reg};
+use ci_obs::{Event, NoopProbe, Probe};
 
 /// A renamed source operand.
 #[derive(Clone, Copy, Debug)]
@@ -130,8 +131,15 @@ pub(crate) struct FetchCtx {
 ///
 /// See the crate-level documentation for the model; construct with
 /// [`Pipeline::new`] and drive with [`Pipeline::run`].
+///
+/// The pipeline is generic over an observability [`Probe`] that receives
+/// one [`Event`] per pipeline action. The default [`NoopProbe`] is a
+/// zero-sized sink whose `record` inlines to nothing, so an unprobed
+/// pipeline pays no cost for the instrumentation; plug in a real sink with
+/// [`Pipeline::with_probe`] or [`crate::simulate_probed`].
 #[derive(Debug)]
-pub struct Pipeline<'p> {
+pub struct Pipeline<'p, P: Probe = NoopProbe> {
+    pub(crate) probe: P,
     pub(crate) program: &'p Program,
     pub(crate) cfg: PipelineConfig,
     // Architectural reference.
@@ -167,7 +175,8 @@ pub struct Pipeline<'p> {
 
 impl<'p> Pipeline<'p> {
     /// Build a pipeline for `program`, pre-computing the architectural
-    /// reference trace of up to `max_insts` instructions.
+    /// reference trace of up to `max_insts` instructions. Events are
+    /// discarded; use [`Pipeline::with_probe`] to observe them.
     ///
     /// # Errors
     /// Propagates [`EmuError`] if the program's correct path leaves the
@@ -177,6 +186,22 @@ impl<'p> Pipeline<'p> {
         config: PipelineConfig,
         max_insts: u64,
     ) -> Result<Pipeline<'p>, EmuError> {
+        Pipeline::with_probe(program, config, max_insts, NoopProbe)
+    }
+}
+
+impl<'p, P: Probe> Pipeline<'p, P> {
+    /// Build a pipeline whose events feed `probe`.
+    ///
+    /// # Errors
+    /// Propagates [`EmuError`] if the program's correct path leaves the
+    /// program.
+    pub fn with_probe(
+        program: &'p Program,
+        config: PipelineConfig,
+        max_insts: u64,
+        probe: P,
+    ) -> Result<Pipeline<'p, P>, EmuError> {
         let trace = run_trace(program, max_insts)?;
         let oracle: Vec<DynInst> = trace.insts().to_vec();
         // Prefix global histories for the oracle-GHR mode (Figure 12).
@@ -191,6 +216,7 @@ impl<'p> Pipeline<'p> {
         oracle_hist.push(h);
 
         Ok(Pipeline {
+            probe,
             program,
             cfg: config,
             oracle,
@@ -229,6 +255,30 @@ impl<'p> Pipeline<'p> {
         self.oracle.len() as u64
     }
 
+    /// Shared view of the attached probe.
+    #[must_use]
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consume the pipeline, returning the probe (for reading accumulated
+    /// metrics after [`Pipeline::run`]).
+    #[must_use]
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Force the architectural reference at retired-index `idx` onto a
+    /// bogus PC, so the next retirement at that index trips the oracle
+    /// checker. Exists so tests can exercise the failure path (the
+    /// flight-recorder dump); never call it otherwise.
+    #[doc(hidden)]
+    pub fn corrupt_oracle_entry(&mut self, idx: usize) {
+        if let Some(o) = self.oracle.get_mut(idx) {
+            o.pc = Pc(o.pc.0 ^ 0x8000_0000);
+        }
+    }
+
     /// Run to completion (all reference instructions retired) and return the
     /// statistics.
     ///
@@ -243,7 +293,10 @@ impl<'p> Pipeline<'p> {
             self.cycle();
             if self.now >= cap {
                 self.dump_deadlock();
-                panic!("pipeline failed to make forward progress at cycle {}", self.now);
+                panic!(
+                    "pipeline failed to make forward progress at cycle {}",
+                    self.now
+                );
             }
         }
         self.stats.cycles = self.now;
@@ -262,21 +315,46 @@ impl<'p> Pipeline<'p> {
                 return true;
             }
         }
-        self.suspended.iter().any(|rs| rs.cursor == id || rs.branch == id)
+        self.suspended
+            .iter()
+            .any(|rs| rs.cursor == id || rs.branch == id)
     }
 
     /// Diagnostic dump used when the forward-progress cap trips.
     fn dump_deadlock(&self) {
-        eprintln!("=== deadlock at cycle {} retired {} ===", self.now, self.stats.retired);
-        eprintln!("seq: {:?}", match &self.seq {
-            Sequencer::Normal => "Normal".to_string(),
-            Sequencer::Restart(rs) => format!("Restart recon_pc={} branch_alive={} recon_alive={}", rs.recon_pc, self.rob.alive(rs.branch), self.rob.alive(rs.recon)),
-            Sequencer::Redispatch(_) => "Redispatch".to_string(),
-        });
-        eprintln!("fetch: pc={} stalled={} pending={} suspended={}", self.fetch.pc, self.fetch.stalled, self.pending.len(), self.suspended.len());
+        eprintln!(
+            "=== deadlock at cycle {} retired {} ===",
+            self.now, self.stats.retired
+        );
+        if let Some(d) = self.probe.dump() {
+            eprintln!("{d}");
+        }
+        eprintln!(
+            "seq: {:?}",
+            match &self.seq {
+                Sequencer::Normal => "Normal".to_string(),
+                Sequencer::Restart(rs) => format!(
+                    "Restart recon_pc={} branch_alive={} recon_alive={}",
+                    rs.recon_pc,
+                    self.rob.alive(rs.branch),
+                    self.rob.alive(rs.recon)
+                ),
+                Sequencer::Redispatch(_) => "Redispatch".to_string(),
+            }
+        );
+        eprintln!(
+            "fetch: pc={} stalled={} pending={} suspended={}",
+            self.fetch.pc,
+            self.fetch.stalled,
+            self.pending.len(),
+            self.suspended.len()
+        );
         for (n, id) in self.rob.iter().enumerate().take(12) {
             let e = self.rob.get(id);
-            eprintln!("  [{n}] {} {:?} state={:?} resolved={} exec_next={:?} pred_next={} oracle={:?}", e.pc, e.inst.op, e.state, e.resolved, e.exec_next, e.pred_next, e.oracle_idx);
+            eprintln!(
+                "  [{n}] {} {:?} state={:?} resolved={} exec_next={:?} pred_next={} oracle={:?}",
+                e.pc, e.inst.op, e.state, e.resolved, e.exec_next, e.pred_next, e.oracle_idx
+            );
         }
     }
 
@@ -284,8 +362,7 @@ impl<'p> Pipeline<'p> {
     pub(crate) fn cycle(&mut self) {
         self.now += 1;
         #[cfg(debug_assertions)]
-        let trace_stages =
-            self.cfg.check && std::env::var_os("CI_CORE_INVARIANTS").is_some();
+        let trace_stages = self.cfg.check && std::env::var_os("CI_CORE_INVARIANTS").is_some();
         #[cfg(debug_assertions)]
         macro_rules! chk {
             ($stage:expr) => {
@@ -325,6 +402,12 @@ impl<'p> Pipeline<'p> {
         chk!("fetch");
         self.issue_stage();
         chk!("issue");
+        self.probe.record(
+            self.now,
+            Event::CycleEnd {
+                occupancy: self.rob.len() as u32,
+            },
+        );
     }
 
     /// Debug invariant: every non-control instruction's successor must be
@@ -337,7 +420,9 @@ impl<'p> Pipeline<'p> {
             if e.class.is_control() || e.class == InstClass::Halt {
                 continue;
             }
-            let Some(next) = self.rob.next(id) else { continue };
+            let Some(next) = self.rob.next(id) else {
+                continue;
+            };
             let npc = self.rob.get(next).pc;
             if npc == e.pc.next() {
                 continue;
@@ -478,8 +563,12 @@ impl<'p> Pipeline<'p> {
     /// Squash the youngest instruction to make room for a restart insert.
     /// Returns false if the restart degenerated (reconvergent point evicted).
     fn evict_youngest_for_restart(&mut self) -> bool {
-        let Some(tail) = self.rob.tail() else { return false };
-        let Sequencer::Restart(rs) = &self.seq else { return false };
+        let Some(tail) = self.rob.tail() else {
+            return false;
+        };
+        let Sequencer::Restart(rs) = &self.seq else {
+            return false;
+        };
         if tail == rs.cursor || tail == rs.branch {
             // Nothing evictable: the window is all older instructions.
             return false;
@@ -491,8 +580,7 @@ impl<'p> Pipeline<'p> {
             // All control-independent work is gone; the restart becomes
             // plain tail fetch from the current restart PC, continuing with
             // the restart's rename map.
-            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal)
-            else {
+            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal) else {
                 unreachable!()
             };
             self.map = rs.map.clone();
@@ -506,6 +594,7 @@ impl<'p> Pipeline<'p> {
     fn fetch_one(&mut self, inst: Inst) {
         let pc = self.fetch.pc;
         let class = inst.class();
+        self.probe.record(self.now, Event::Fetch { pc: pc.0 });
 
         // Predecessor in logical order (for oracle tagging).
         let prev = match &self.seq {
@@ -561,7 +650,10 @@ impl<'p> Pipeline<'p> {
         };
         let mut srcs = [None, None];
         for (k, r) in inst.sources().enumerate() {
-            srcs[k] = Some(SrcBinding { arch: r, phys: map.get(r) });
+            srcs[k] = Some(SrcBinding {
+                arch: r,
+                phys: map.get(r),
+            });
         }
         let dest = inst.dest().map(|r| (r, self.regs.alloc()));
         let map = match &mut self.seq {
@@ -639,6 +731,7 @@ impl<'p> Pipeline<'p> {
                 self.rob.push_back(entry);
             }
         }
+        self.probe.record(self.now, Event::Dispatch { pc: pc.0 });
         self.fetch.pc = next;
     }
 

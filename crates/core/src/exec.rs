@@ -4,8 +4,9 @@ use crate::engine::{EState, Pipeline};
 use crate::rob::InstId;
 use ci_emu::exec::{alu_result, branch_taken, effective_addr};
 use ci_isa::InstClass;
+use ci_obs::{Event, Probe, ReissueKind};
 
-impl Pipeline<'_> {
+impl<P: Probe> Pipeline<'_, P> {
     /// Select and issue up to `width` ready instructions, oldest first.
     /// Instructions remain in the window and may issue again after
     /// invalidation (selective reissue, Section 3.2.4).
@@ -49,10 +50,7 @@ impl Pipeline<'_> {
         };
         let a = lookup(inst.rs1);
         let b = lookup(inst.rs2);
-        let src_dspec = srcs
-            .iter()
-            .flatten()
-            .any(|s| self.regs.dspec(s.phys));
+        let src_dspec = srcs.iter().flatten().any(|s| self.regs.dspec(s.phys));
 
         let mut result = 0u64;
         let mut addr = None;
@@ -131,6 +129,7 @@ impl Pipeline<'_> {
         let e = self.rob.get_mut(id);
         e.state = EState::Executing { done_at };
         e.issue_count += 1;
+        let reissue = e.issue_count > 1;
         e.result = result;
         e.addr = addr;
         e.exec_next = exec_next;
@@ -138,6 +137,8 @@ impl Pipeline<'_> {
         e.src_store = src_store;
         e.dspec = dspec;
         e.resolved = false;
+        self.probe
+            .record(self.now, Event::Issue { pc: pc.0, reissue });
     }
 
     /// Complete instructions whose execution finishes this cycle: write
@@ -162,11 +163,12 @@ impl Pipeline<'_> {
             {
                 continue;
             }
-            let (dest, class, dspec, result) = {
+            let (dest, class, dspec, result, pc) = {
                 let e = self.rob.get_mut(id);
                 e.state = EState::Done;
-                (e.dest, e.class, e.dspec, e.result)
+                (e.dest, e.class, e.dspec, e.result, e.pc)
             };
+            self.probe.record(self.now, Event::Complete { pc: pc.0 });
             if let Some((_, p)) = dest {
                 self.regs.write(p, result, dspec);
                 self.invalidate_consumers_of(p, id);
@@ -196,6 +198,19 @@ impl Pipeline<'_> {
             })
             .collect();
         for v in victims {
+            // Invalidating one victim can cascade (cancelled restarts squash
+            // instructions), killing later victims before their turn.
+            if !self.rob.alive(v) {
+                continue;
+            }
+            let pc = self.rob.get(v).pc;
+            self.probe.record(
+                self.now,
+                Event::Reissue {
+                    pc: pc.0,
+                    kind: ReissueKind::Value,
+                },
+            );
             self.invalidate(v);
         }
     }
@@ -263,7 +278,19 @@ impl Pipeline<'_> {
             })
             .collect();
         for v in victims {
-            self.rob.get_mut(v).mem_reissues += 1;
+            if !self.rob.alive(v) {
+                continue;
+            }
+            let e = self.rob.get_mut(v);
+            e.mem_reissues += 1;
+            let pc = e.pc;
+            self.probe.record(
+                self.now,
+                Event::Reissue {
+                    pc: pc.0,
+                    kind: ReissueKind::Memory,
+                },
+            );
             self.invalidate(v);
         }
     }
@@ -281,7 +308,19 @@ impl Pipeline<'_> {
             })
             .collect();
         for v in victims {
-            self.rob.get_mut(v).mem_reissues += 1;
+            if !self.rob.alive(v) {
+                continue;
+            }
+            let e = self.rob.get_mut(v);
+            e.mem_reissues += 1;
+            let pc = e.pc;
+            self.probe.record(
+                self.now,
+                Event::Reissue {
+                    pc: pc.0,
+                    kind: ReissueKind::Memory,
+                },
+            );
             self.invalidate(v);
         }
     }

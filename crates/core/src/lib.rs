@@ -88,3 +88,25 @@ pub fn simulate(
     let mut p = Pipeline::new(program, config, max_insts)?;
     Ok(p.run())
 }
+
+/// Like [`simulate`], but with an observability probe attached: every
+/// pipeline event feeds `probe`, which is returned alongside the statistics
+/// so callers can read its accumulated state.
+///
+/// With [`ci_obs::NoopProbe`] this compiles to exactly the [`simulate`]
+/// path (the probe is statically monomorphized away); with a real sink such
+/// as [`ci_obs::MetricsProbe`] or [`ci_obs::FlightRecorder`] the simulated
+/// machine is unchanged — probes observe, they never steer.
+///
+/// # Errors
+/// Propagates [`EmuError`] if the program's correct path leaves the program.
+pub fn simulate_probed<P: ci_obs::Probe>(
+    program: &Program,
+    config: PipelineConfig,
+    max_insts: u64,
+    probe: P,
+) -> Result<(Stats, P), EmuError> {
+    let mut p = Pipeline::with_probe(program, config, max_insts, probe)?;
+    let stats = p.run();
+    Ok((stats, p.into_probe()))
+}

@@ -37,7 +37,11 @@ impl ReconDetector {
         } else {
             ReconvergenceMap::default()
         };
-        ReconDetector { strategy, software, candidates: HashSet::new() }
+        ReconDetector {
+            strategy,
+            software,
+            candidates: HashSet::new(),
+        }
     }
 
     /// The active strategy.

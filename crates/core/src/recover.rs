@@ -3,13 +3,14 @@
 
 use crate::config::{Preemption, RedispatchMode, RepredictMode, SquashMode};
 use crate::engine::{
-    EState, FetchCtx, Pipeline, PendingRecovery, RedispatchState, RestartState, Sequencer,
+    EState, FetchCtx, PendingRecovery, Pipeline, RedispatchState, RestartState, Sequencer,
 };
 use crate::rob::{InstId, SegCursor};
 use ci_bpred::TfrIndexing;
 use ci_isa::{InstClass, Pc};
+use ci_obs::{Event, Probe, ReissueKind};
 
-impl Pipeline<'_> {
+impl<P: Probe> Pipeline<'_, P> {
     /// Scan for control instructions whose execution disagrees with the path
     /// in the window, gated by the branch-completion model (Appendix A.2).
     pub(crate) fn detect_mispredictions(&mut self) {
@@ -69,7 +70,11 @@ impl Pipeline<'_> {
                 }
             }
             resolved_ok.push(id);
-            found.push(PendingRecovery { branch: id, redirect: exec_next, from_exec: true });
+            found.push(PendingRecovery {
+                branch: id,
+                redirect: exec_next,
+                from_exec: true,
+            });
         }
         for id in resolved_ok {
             self.rob.get_mut(id).resolved = true;
@@ -204,8 +209,7 @@ impl Pipeline<'_> {
     pub(crate) fn cancel_restarts_of(&mut self, id: InstId) {
         let active = matches!(&self.seq, Sequencer::Restart(rs) if rs.branch == id);
         if active {
-            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal)
-            else {
+            let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal) else {
                 unreachable!()
             };
             self.squash_between(rs.branch, rs.recon);
@@ -287,10 +291,14 @@ impl Pipeline<'_> {
     /// Remove one instruction from the window, repairing loads that
     /// forwarded from a squashed store.
     pub(crate) fn squash_one(&mut self, id: InstId) {
-        let is_store = {
+        let (is_store, pc) = {
             let e = self.rob.get(id);
-            e.class == InstClass::Store && e.state != EState::Waiting
+            (
+                e.class == InstClass::Store && e.state != EState::Waiting,
+                e.pc,
+            )
         };
+        self.probe.record(self.now, Event::Squash { pc: pc.0 });
         if is_store {
             self.reissue_loads_of_squashed_store(id);
         }
@@ -355,10 +363,24 @@ impl Pipeline<'_> {
         };
 
         self.rob.get_mut(b).pred_next = rec.redirect;
+        let branch_pc = self.rob.get(b).pc;
 
         match recon_entry {
             None => {
                 // Complete squash.
+                let removed = {
+                    let bk = self.rob.key(b);
+                    self.rob.iter().filter(|&x| self.rob.key(x) > bk).count() as u32
+                };
+                self.probe.record(
+                    self.now,
+                    Event::RestartBegin {
+                        branch_pc: branch_pc.0,
+                        redirect_pc: rec.redirect.0,
+                        reconverged: false,
+                        removed,
+                    },
+                );
                 if let Some(n) = self.rob.next(b) {
                     self.squash_suffix_from(n);
                 }
@@ -390,6 +412,15 @@ impl Pipeline<'_> {
                         .collect()
                 };
                 self.stats.removed += victims.len() as u64;
+                self.probe.record(
+                    self.now,
+                    Event::RestartBegin {
+                        branch_pc: branch_pc.0,
+                        redirect_pc: rec.redirect.0,
+                        reconverged: true,
+                        removed: victims.len() as u32,
+                    },
+                );
                 for v in victims.into_iter().rev() {
                     self.squash_one(v);
                 }
@@ -451,16 +482,35 @@ impl Pipeline<'_> {
         let (pc, hist) = (e.pc, e.ghr_before);
         self.stats.tfr_static.record(u64::from(pc.0), is_false);
         let pat_pc = self.tfr_pc.pattern(pc, hist, TfrIndexing::DynamicPc);
-        self.stats.tfr_dynamic_pc.record(u64::from(pat_pc), is_false);
-        self.tfr_pc.record(pc, hist, TfrIndexing::DynamicPc, is_false);
+        self.stats
+            .tfr_dynamic_pc
+            .record(u64::from(pat_pc), is_false);
+        self.tfr_pc
+            .record(pc, hist, TfrIndexing::DynamicPc, is_false);
         let pat_xor = self.tfr_xor.pattern(pc, hist, TfrIndexing::DynamicXor);
-        self.stats.tfr_dynamic_xor.record(u64::from(pat_xor), is_false);
-        self.tfr_xor.record(pc, hist, TfrIndexing::DynamicXor, is_false);
+        self.stats
+            .tfr_dynamic_xor
+            .record(u64::from(pat_xor), is_false);
+        self.tfr_xor
+            .record(pc, hist, TfrIndexing::DynamicXor, is_false);
     }
 
     /// Transition from a completed restart to the redispatch sequence.
     pub(crate) fn begin_redispatch(&mut self, rs: &RestartState) {
         self.stats.restart_cycles += self.now.saturating_sub(rs.started_at);
+        let branch_pc = if self.rob.alive(rs.branch) {
+            self.rob.get(rs.branch).pc.0
+        } else {
+            u32::MAX
+        };
+        self.probe.record(
+            self.now,
+            Event::RestartEnd {
+                branch_pc,
+                inserted: rs.inserted,
+                cycles: self.now.saturating_sub(rs.started_at),
+            },
+        );
         self.seq = Sequencer::Redispatch(RedispatchState {
             cursor: Some(rs.recon),
             map: rs.map.clone(),
@@ -482,16 +532,22 @@ impl Pipeline<'_> {
         };
         let mut last_pred_next = None;
         for _ in 0..budget {
-            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &self.seq else {
+                unreachable!()
+            };
             let Some(id) = rd.cursor else { break };
             last_pred_next = Some(self.redispatch_one(id));
-            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &mut self.seq else {
+                unreachable!()
+            };
             rd.cursor = self.rob.next(id);
             if rd.cursor.is_none() {
                 break;
             }
         }
-        let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+        let Sequencer::Redispatch(rd) = &self.seq else {
+            unreachable!()
+        };
         if rd.cursor.is_none() {
             // Sequence complete: resume tail fetch (or a suspended restart).
             let (ghr, ras) = (rd.ghr, rd.ras.snapshot());
@@ -550,7 +606,9 @@ impl Pipeline<'_> {
         // Remap sources against the running map.
         let mut renamed = false;
         let (class, pc, inst, state) = {
-            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &self.seq else {
+                unreachable!()
+            };
             let map = rd.map.clone();
             let e = self.rob.get_mut(id);
             for slot in e.srcs.iter_mut().flatten() {
@@ -562,16 +620,27 @@ impl Pipeline<'_> {
             }
             (e.class, e.pc, e.inst, e.state)
         };
+        self.probe
+            .record(self.now, Event::Redispatch { pc: pc.0, renamed });
         if renamed {
             self.stats.ci_renamed += 1;
             if state != EState::Waiting {
                 self.rob.get_mut(id).reg_reissues += 1;
+                self.probe.record(
+                    self.now,
+                    Event::Reissue {
+                        pc: pc.0,
+                        kind: ReissueKind::Register,
+                    },
+                );
             }
             self.invalidate(id);
         }
         // Destination keeps its physical register; propagate the mapping.
         if let Some((r, p)) = self.rob.get(id).dest {
-            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &mut self.seq else {
+                unreachable!()
+            };
             rd.map.set(r, p);
         }
         // Oracle re-tag.
@@ -580,7 +649,9 @@ impl Pipeline<'_> {
         self.rob.get_mut(id).oracle_idx = tag;
 
         // History repair and re-prediction.
-        let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+        let Sequencer::Redispatch(rd) = &self.seq else {
+            unreachable!()
+        };
         let ghr_now = rd.ghr;
         self.rob.get_mut(id).ghr_before = ghr_now;
 
@@ -634,13 +705,17 @@ impl Pipeline<'_> {
                 });
             }
             pred_next = Some(new_next);
-            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &mut self.seq else {
+                unreachable!()
+            };
             rd.ghr.push(new_dir);
         }
 
         // RAS replay for subsequent fetch continuity.
         {
-            let Sequencer::Redispatch(rd) = &mut self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &mut self.seq else {
+                unreachable!()
+            };
             match class {
                 InstClass::Call => rd.ras.push(fallthrough),
                 InstClass::Return => {
@@ -661,7 +736,9 @@ impl Pipeline<'_> {
         }
         // Re-snapshot the RAS on control instructions.
         if class.is_control() {
-            let Sequencer::Redispatch(rd) = &self.seq else { unreachable!() };
+            let Sequencer::Redispatch(rd) = &self.seq else {
+                unreachable!()
+            };
             let mut snap = rd.ras.snapshot();
             let mut v = Vec::new();
             while let Some(p) = snap.pop() {

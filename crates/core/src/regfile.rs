@@ -40,7 +40,12 @@ impl PhysRegFile {
     pub fn new() -> PhysRegFile {
         PhysRegFile {
             regs: (0..Reg::COUNT)
-                .map(|_| PhysEntry { value: 0, ready: true, version: 0, dspec: false })
+                .map(|_| PhysEntry {
+                    value: 0,
+                    ready: true,
+                    version: 0,
+                    dspec: false,
+                })
                 .collect(),
         }
     }
@@ -48,7 +53,12 @@ impl PhysRegFile {
     /// Allocate a fresh, not-ready register.
     pub fn alloc(&mut self) -> PhysReg {
         let id = PhysReg(self.regs.len() as u32);
-        self.regs.push(PhysEntry { value: 0, ready: false, version: 0, dspec: false });
+        self.regs.push(PhysEntry {
+            value: 0,
+            ready: false,
+            version: 0,
+            dspec: false,
+        });
         id
     }
 

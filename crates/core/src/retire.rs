@@ -3,8 +3,9 @@
 
 use crate::engine::{EState, Pipeline, Sequencer};
 use ci_isa::InstClass;
+use ci_obs::{Event, Probe};
 
-impl Pipeline<'_> {
+impl<P: Probe> Pipeline<'_, P> {
     /// Retire up to `width` instructions in order. An instruction retires
     /// only when it has completed with final values and its successor in the
     /// window agrees with its computed next PC (pending recoveries therefore
@@ -57,24 +58,33 @@ impl Pipeline<'_> {
             let r = self.stats.retired as usize;
             if self.cfg.check {
                 let o = &self.oracle[r];
-                assert_eq!(e.pc, o.pc, "retired pc diverges at instruction {r}");
-                assert_eq!(
-                    e.addr, o.addr,
-                    "retired address diverges at {} ({})",
-                    r, e.inst
-                );
-                if let Some(v) = o.value {
-                    assert_eq!(
-                        e.result, v,
-                        "retired value diverges at {} ({})",
-                        r, e.inst
+                if e.pc != o.pc {
+                    self.fail_retirement_check(r, "pc", format!("{} != {}", e.pc, o.pc));
+                }
+                if e.addr != o.addr {
+                    self.fail_retirement_check(
+                        r,
+                        "address",
+                        format!("{:?} != {:?}", e.addr, o.addr),
                     );
                 }
-                if e.class.is_control() && e.class != InstClass::Halt {
-                    assert_eq!(
-                        e.exec_next,
-                        Some(o.next_pc),
-                        "retired control flow diverges at {r}"
+                if let Some(v) = o.value {
+                    if e.result != v {
+                        self.fail_retirement_check(
+                            r,
+                            "value",
+                            format!("{:#x} != {v:#x}", e.result),
+                        );
+                    }
+                }
+                if e.class.is_control()
+                    && e.class != InstClass::Halt
+                    && e.exec_next != Some(o.next_pc)
+                {
+                    self.fail_retirement_check(
+                        r,
+                        "control flow",
+                        format!("{:?} != {}", e.exec_next, o.next_pc),
                     );
                 }
             }
@@ -142,9 +152,48 @@ impl Pipeline<'_> {
                 }
             }
 
+            self.probe.record(
+                self.now,
+                Event::Retire {
+                    pc: e.pc.0,
+                    issues: e.issue_count,
+                },
+            );
             self.stats.retired += 1;
             self.rob.remove(head);
         }
+    }
+
+    /// Build and raise the oracle-checker failure report: which field
+    /// diverged and where, what the simulator retired, what the emulator
+    /// executed, and — when the attached probe keeps one — the flight
+    /// recorder's tail covering the machine's final cycles.
+    fn fail_retirement_check(&self, r: usize, field: &str, detail: String) -> ! {
+        let head = self.rob.head().expect("failing retirement has a head");
+        let e = self.rob.get(head);
+        let o = &self.oracle[r];
+        let mut msg = format!(
+            "retired {field} diverges from the emulator at instruction {r}, cycle {}: {detail}\n\
+             retired:  {} {} ({:?}) result={:#x} addr={:?} exec_next={:?} issues={}\n\
+             emulator: {}\n",
+            self.now,
+            e.pc,
+            e.inst,
+            e.class,
+            e.result,
+            e.addr,
+            e.exec_next,
+            e.issue_count,
+            o.summary(),
+        );
+        match self.probe.dump() {
+            Some(d) => {
+                msg.push_str(&d);
+            }
+            None => msg
+                .push_str("(attach a ci_obs::FlightRecorder probe to capture the final cycles)\n"),
+        }
+        panic!("{msg}");
     }
 }
 

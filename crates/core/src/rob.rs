@@ -118,7 +118,10 @@ impl<T> Rob<T> {
     }
 
     fn id_of(&self, idx: u32) -> InstId {
-        InstId { idx, generation: self.nodes[idx as usize].generation }
+        InstId {
+            idx,
+            generation: self.nodes[idx as usize].generation,
+        }
     }
 
     /// Whether `id` still names a live instruction.
@@ -188,7 +191,14 @@ impl<T> Rob<T> {
             n.data = Some(data);
             idx
         } else {
-            self.nodes.push(Node { prev: None, next: None, key, seg, generation: 0, data: Some(data) });
+            self.nodes.push(Node {
+                prev: None,
+                next: None,
+                key,
+                seg,
+                generation: 0,
+                data: Some(data),
+            });
             (self.nodes.len() - 1) as u32
         }
     }
@@ -312,7 +322,10 @@ impl<T> Rob<T> {
 
     /// Iterate over live instruction ids in logical order.
     pub fn iter(&self) -> RobIter<'_, T> {
-        RobIter { rob: self, cur: self.head }
+        RobIter {
+            rob: self,
+            cur: self.head,
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 use ci_bpred::TfrStats;
 
 /// Counters collected by one pipeline run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -124,7 +124,13 @@ fn wide_independent_code_approaches_machine_width() {
     }
     a.halt();
     let p = a.assemble().unwrap();
-    let s = run(&p, PipelineConfig { cache: CacheModel::Ideal { latency: 1 }, ..PipelineConfig::base(512) });
+    let s = run(
+        &p,
+        PipelineConfig {
+            cache: CacheModel::Ideal { latency: 1 },
+            ..PipelineConfig::base(512)
+        },
+    );
     assert!(s.ipc() > 8.0, "ipc {}", s.ipc());
 }
 
@@ -149,15 +155,26 @@ fn store_load_forwarding_and_violations_repair() {
 
 #[test]
 fn window_size_helps_parallel_workloads() {
-    let p = Workload::JpegLike.build(&WorkloadParams { scale: 200, seed: 3 });
+    let p = Workload::JpegLike.build(&WorkloadParams {
+        scale: 200,
+        seed: 3,
+    });
     let small = run(&p, PipelineConfig::base(32));
     let large = run(&p, PipelineConfig::base(512));
-    assert!(large.ipc() > small.ipc() * 1.2, "window scaling: {} vs {}", large.ipc(), small.ipc());
+    assert!(
+        large.ipc() > small.ipc() * 1.2,
+        "window scaling: {} vs {}",
+        large.ipc(),
+        small.ipc()
+    );
 }
 
 #[test]
 fn completion_models_all_verify_and_order_sanely() {
-    let p = Workload::GoLike.build(&WorkloadParams { scale: 400, seed: 2 });
+    let p = Workload::GoLike.build(&WorkloadParams {
+        scale: 400,
+        seed: 2,
+    });
     let mut ipcs = Vec::new();
     for m in [
         CompletionModel::NonSpec,
@@ -165,7 +182,13 @@ fn completion_models_all_verify_and_order_sanely() {
         CompletionModel::SpecC,
         CompletionModel::Spec,
     ] {
-        let s = run(&p, PipelineConfig { completion: m, ..PipelineConfig::ci(256) });
+        let s = run(
+            &p,
+            PipelineConfig {
+                completion: m,
+                ..PipelineConfig::ci(256)
+            },
+        );
         ipcs.push((m, s.ipc()));
     }
     let get = |m: CompletionModel| ipcs.iter().find(|(x, _)| *x == m).unwrap().1;
@@ -178,8 +201,17 @@ fn completion_models_all_verify_and_order_sanely() {
 
 #[test]
 fn hfm_never_hurts() {
-    let p = Workload::CompressLike.build(&WorkloadParams { scale: 500, seed: 2 });
-    let plain = run(&p, PipelineConfig { completion: CompletionModel::Spec, ..PipelineConfig::ci(256) });
+    let p = Workload::CompressLike.build(&WorkloadParams {
+        scale: 500,
+        seed: 2,
+    });
+    let plain = run(
+        &p,
+        PipelineConfig {
+            completion: CompletionModel::Spec,
+            ..PipelineConfig::ci(256)
+        },
+    );
     let hfm = run(
         &p,
         PipelineConfig {
@@ -188,49 +220,121 @@ fn hfm_never_hurts() {
             ..PipelineConfig::ci(256)
         },
     );
-    assert!(hfm.ipc() >= plain.ipc() * 0.98, "hfm {} vs {}", hfm.ipc(), plain.ipc());
+    assert!(
+        hfm.ipc() >= plain.ipc() * 0.98,
+        "hfm {} vs {}",
+        hfm.ipc(),
+        plain.ipc()
+    );
     assert!(hfm.false_mispredictions <= plain.false_mispredictions);
 }
 
 #[test]
 fn repredict_modes_verify() {
-    let p = Workload::GccLike.build(&WorkloadParams { scale: 300, seed: 2 });
-    for rp in [RepredictMode::None, RepredictMode::Heuristic, RepredictMode::Oracle] {
-        let s = run(&p, PipelineConfig { repredict: rp, ..PipelineConfig::ci(256) });
+    let p = Workload::GccLike.build(&WorkloadParams {
+        scale: 300,
+        seed: 2,
+    });
+    for rp in [
+        RepredictMode::None,
+        RepredictMode::Heuristic,
+        RepredictMode::Oracle,
+    ] {
+        let s = run(
+            &p,
+            PipelineConfig {
+                repredict: rp,
+                ..PipelineConfig::ci(256)
+            },
+        );
         assert!(s.retired > 0, "{rp:?}");
     }
 }
 
 #[test]
 fn segment_sizes_cost_capacity() {
-    let p = Workload::GccLike.build(&WorkloadParams { scale: 300, seed: 5 });
-    let s1 = run(&p, PipelineConfig { segment: 1, ..PipelineConfig::ci(256) });
-    let s16 = run(&p, PipelineConfig { segment: 16, ..PipelineConfig::ci(256) });
+    let p = Workload::GccLike.build(&WorkloadParams {
+        scale: 300,
+        seed: 5,
+    });
+    let s1 = run(
+        &p,
+        PipelineConfig {
+            segment: 1,
+            ..PipelineConfig::ci(256)
+        },
+    );
+    let s16 = run(
+        &p,
+        PipelineConfig {
+            segment: 16,
+            ..PipelineConfig::ci(256)
+        },
+    );
     // Fragmentation can only hurt (or tie).
-    assert!(s16.ipc() <= s1.ipc() * 1.02, "seg16 {} vs seg1 {}", s16.ipc(), s1.ipc());
+    assert!(
+        s16.ipc() <= s1.ipc() * 1.02,
+        "seg16 {} vs seg1 {}",
+        s16.ipc(),
+        s1.ipc()
+    );
 }
 
 #[test]
 fn heuristic_reconvergence_verifies_and_underperforms_postdom() {
-    let p = Workload::GoLike.build(&WorkloadParams { scale: 400, seed: 6 });
+    let p = Workload::GoLike.build(&WorkloadParams {
+        scale: 400,
+        seed: 6,
+    });
     let sw = run(&p, PipelineConfig::ci(256));
     let hw = run(
         &p,
-        PipelineConfig { recon: ReconStrategy::hardware(true, true, true), ..PipelineConfig::ci(256) },
+        PipelineConfig {
+            recon: ReconStrategy::hardware(true, true, true),
+            ..PipelineConfig::ci(256)
+        },
     );
     let base = run(&p, PipelineConfig::base(256));
-    assert!(hw.ipc() >= base.ipc() * 0.95, "heuristics shouldn't collapse below base");
-    assert!(sw.ipc() >= hw.ipc() * 0.9, "postdom {} vs heuristics {}", sw.ipc(), hw.ipc());
+    assert!(
+        hw.ipc() >= base.ipc() * 0.95,
+        "heuristics shouldn't collapse below base"
+    );
+    assert!(
+        sw.ipc() >= hw.ipc() * 0.9,
+        "postdom {} vs heuristics {}",
+        sw.ipc(),
+        hw.ipc()
+    );
 }
 
 #[test]
 fn preemption_modes_agree_closely() {
-    let p = Workload::GoLike.build(&WorkloadParams { scale: 400, seed: 8 });
-    let simple = run(&p, PipelineConfig { preemption: Preemption::Simple, ..PipelineConfig::ci(256) });
-    let optimal = run(&p, PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(256) });
+    let p = Workload::GoLike.build(&WorkloadParams {
+        scale: 400,
+        seed: 8,
+    });
+    let simple = run(
+        &p,
+        PipelineConfig {
+            preemption: Preemption::Simple,
+            ..PipelineConfig::ci(256)
+        },
+    );
+    let optimal = run(
+        &p,
+        PipelineConfig {
+            preemption: Preemption::Optimal,
+            ..PipelineConfig::ci(256)
+        },
+    );
     // The paper finds simple ≈ optimal at window 256.
     let ratio = simple.ipc() / optimal.ipc();
-    assert!((0.9..=1.1).contains(&ratio), "simple {} optimal {}", simple.ipc(), optimal.ipc());
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "simple {} optimal {}",
+        simple.ipc(),
+        optimal.ipc()
+    );
 }
 
 #[test]
@@ -240,19 +344,37 @@ fn instant_redispatch_at_least_matches_pipelined_on_average() {
     for seed in 0..6 {
         let p = random_program(seed + 100, 80);
         let ci = run(&p, PipelineConfig::ci(128));
-        let cii = run(&p, PipelineConfig { redispatch: RedispatchMode::Instant, ..PipelineConfig::ci(128) });
+        let cii = run(
+            &p,
+            PipelineConfig {
+                redispatch: RedispatchMode::Instant,
+                ..PipelineConfig::ci(128)
+            },
+        );
         total += 1;
         if cii.cycles <= ci.cycles {
             wins += 1;
         }
     }
-    assert!(wins * 2 >= total, "CI-I should usually be at least as fast: {wins}/{total}");
+    assert!(
+        wins * 2 >= total,
+        "CI-I should usually be at least as fast: {wins}/{total}"
+    );
 }
 
 #[test]
 fn realistic_cache_slower_than_ideal() {
-    let p = Workload::CompressLike.build(&WorkloadParams { scale: 500, seed: 4 });
-    let ideal = run(&p, PipelineConfig { cache: CacheModel::Ideal { latency: 1 }, ..PipelineConfig::ci(256) });
+    let p = Workload::CompressLike.build(&WorkloadParams {
+        scale: 500,
+        seed: 4,
+    });
+    let ideal = run(
+        &p,
+        PipelineConfig {
+            cache: CacheModel::Ideal { latency: 1 },
+            ..PipelineConfig::ci(256)
+        },
+    );
     let real = run(&p, PipelineConfig::ci(256));
     assert!(real.ipc() <= ideal.ipc());
     assert!(real.cache_hits + real.cache_misses > 0);
@@ -260,17 +382,32 @@ fn realistic_cache_slower_than_ideal() {
 
 #[test]
 fn oracle_ghr_runs_and_verifies() {
-    let p = Workload::GoLike.build(&WorkloadParams { scale: 300, seed: 9 });
-    let s = run(&p, PipelineConfig { oracle_ghr: true, ..PipelineConfig::ci(256) });
+    let p = Workload::GoLike.build(&WorkloadParams {
+        scale: 300,
+        seed: 9,
+    });
+    let s = run(
+        &p,
+        PipelineConfig {
+            oracle_ghr: true,
+            ..PipelineConfig::ci(256)
+        },
+    );
     assert!(s.retired > 0);
 }
 
 #[test]
 fn tfr_statistics_collected_on_misprediction_heavy_runs() {
-    let p = Workload::CompressLike.build(&WorkloadParams { scale: 800, seed: 4 });
+    let p = Workload::CompressLike.build(&WorkloadParams {
+        scale: 800,
+        seed: 4,
+    });
     let s = run(
         &p,
-        PipelineConfig { completion: CompletionModel::Spec, ..PipelineConfig::ci(256) },
+        PipelineConfig {
+            completion: CompletionModel::Spec,
+            ..PipelineConfig::ci(256)
+        },
     );
     assert!(s.true_mispredictions + s.false_mispredictions > 0);
     let (t, f) = s.tfr_static.totals();
@@ -281,7 +418,10 @@ fn tfr_statistics_collected_on_misprediction_heavy_runs() {
 #[test]
 fn workloads_all_verify_under_every_major_mode() {
     for w in Workload::ALL {
-        let p = w.build(&WorkloadParams { scale: w.scale_for(15_000), seed: 0x5EED });
+        let p = w.build(&WorkloadParams {
+            scale: w.scale_for(15_000),
+            seed: 0x5EED,
+        });
         for cfg in [
             PipelineConfig::base(128),
             PipelineConfig::ci(128),

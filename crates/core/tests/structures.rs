@@ -153,7 +153,10 @@ fn window_of_width_one_segment_still_works() {
     let p = ci_workloads::random_program(77, 60);
     let s = simulate(
         &p,
-        PipelineConfig { segment: 32, ..PipelineConfig::ci(32) },
+        PipelineConfig {
+            segment: 32,
+            ..PipelineConfig::ci(32)
+        },
         10_000,
     )
     .unwrap();

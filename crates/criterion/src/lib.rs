@@ -1,0 +1,261 @@
+//! Vendored, dependency-free shim implementing the subset of the `criterion`
+//! API this workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched; this path dependency keeps the bench sources
+//! unchanged and still produces wall-clock measurements. Differences from
+//! the real crate: no statistical regression analysis, no HTML reports —
+//! each benchmark is calibrated to a minimum sample duration, run
+//! `sample_size` times, and summarized as min/mean/max time per iteration
+//! (plus throughput when configured).
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench` plus any user filter; treat the first
+        // non-flag argument as a substring filter like the real crate.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, sample_size, None, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        // Calibrate the per-sample iteration count to a minimum duration so
+        // timer granularity does not dominate.
+        let min_sample = Duration::from_millis(20);
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= min_sample || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                8
+            } else {
+                (min_sample.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(8) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}/s", si(n as f64 / mean, "elem"))
+            }
+            Some(Throughput::Bytes(n)) => format!("  thrpt: {}/s", si(n as f64 / mean, "B")),
+            None => String::new(),
+        };
+        println!(
+            "{id:<40} time: [{} {} {}]{thrpt}  ({} samples x {iters} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            per_iter.len(),
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate benchmarks with work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (n, t) = (self.sample_size, self.throughput);
+        self.criterion.run_one(&full, n, t, f);
+        self
+    }
+
+    /// Close the group (reporting is immediate in this shim).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.3} {unit}")
+    }
+}
+
+/// Collect benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(2u64.pow(10)));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 100);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+        assert!(si(5e9, "elem").starts_with("5.000 G"));
+        assert!(si(5e6, "B").starts_with("5.000 M"));
+        assert!(si(5e3, "x").starts_with("5.000 K"));
+        assert!(si(5.0, "x").starts_with("5.000 x"));
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            default_sample_size: 2,
+        };
+        // Filtered out: closure must never run.
+        c.bench_function("abc", |_| panic!("must be filtered"));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(1));
+        g.bench_function("abc", |_| panic!("must be filtered"));
+        g.finish();
+    }
+}

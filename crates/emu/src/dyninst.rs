@@ -50,6 +50,23 @@ impl DynInst {
     pub fn needs_prediction(&self) -> bool {
         self.class().needs_prediction()
     }
+
+    /// One-line human-readable summary for diagnostics: PC, disassembly,
+    /// actual next PC, and whichever of address/value/direction apply.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} {} -> {}", self.pc, self.inst, self.next_pc);
+        if let Some(a) = self.addr {
+            s.push_str(&format!(" addr={a}"));
+        }
+        if let Some(v) = self.value {
+            s.push_str(&format!(" value={v:#x}"));
+        }
+        if self.class() == InstClass::CondBranch {
+            s.push_str(if self.taken { " taken" } else { " not-taken" });
+        }
+        s
+    }
 }
 
 /// A correct-path dynamic instruction trace.

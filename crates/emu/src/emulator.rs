@@ -108,7 +108,17 @@ pub(crate) fn exec_step<C: ExecCtx>(
         }
     };
 
-    Ok((DynInst { pc, inst, next_pc, taken, addr, value }, halted))
+    Ok((
+        DynInst {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            addr,
+            value,
+        },
+        halted,
+    ))
 }
 
 #[derive(Debug)]

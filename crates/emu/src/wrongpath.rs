@@ -21,7 +21,10 @@ impl ExecCtx for OverlayCtx<'_> {
         }
     }
     fn read_mem(&self, a: Addr) -> u64 {
-        self.writes.get(&a).copied().unwrap_or_else(|| self.base.read(a))
+        self.writes
+            .get(&a)
+            .copied()
+            .unwrap_or_else(|| self.base.read(a))
     }
     fn write_mem(&mut self, a: Addr, v: u64) {
         self.writes.insert(a, v);
@@ -64,7 +67,11 @@ impl<'a> WrongPathEmu<'a> {
     ) -> WrongPathEmu<'a> {
         WrongPathEmu {
             program,
-            ctx: OverlayCtx { regs, base, writes: HashMap::new() },
+            ctx: OverlayCtx {
+                regs,
+                base,
+                writes: HashMap::new(),
+            },
             pc: start,
             halted: false,
         }
@@ -145,7 +152,7 @@ mod tests {
     fn wrong_path_computes_wrong_values_without_corrupting_parent() {
         let p = diamond();
         let emu = Emulator::new(&p); // r1 == 0, correct path is `then`
-        // Mispredict the branch as not-taken: wrong path starts at pc 1.
+                                     // Mispredict the branch as not-taken: wrong path starts at pc 1.
         let mut wp = emu.fork_wrong_path(Pc(1));
         let join = p.label("join").unwrap();
         let (path, reached) = wp.run_until(|pc| pc == join, 100);

@@ -5,14 +5,30 @@ use std::time::Instant;
 fn main() {
     for w in Workload::ALL {
         let scale = w.scale_for(120_000);
-        let p = w.build(&WorkloadParams { scale, seed: 0x5EED });
+        let p = w.build(&WorkloadParams {
+            scale,
+            seed: 0x5EED,
+        });
         let t0 = Instant::now();
         let input = StudyInput::build(&p, 150_000).unwrap();
         let build_t = t0.elapsed();
-        print!("{:<9} n={} mr={:.1}% build={:?} ", w.name(), input.len(), 100.0*input.misprediction_rate(), build_t);
+        print!(
+            "{:<9} n={} mr={:.1}% build={:?} ",
+            w.name(),
+            input.len(),
+            100.0 * input.misprediction_rate(),
+            build_t
+        );
         for m in ModelKind::ALL {
             let t0 = Instant::now();
-            let r = simulate(&input, &IdealConfig { model: m, window: 256, ..Default::default() });
+            let r = simulate(
+                &input,
+                &IdealConfig {
+                    model: m,
+                    window: 256,
+                    ..Default::default()
+                },
+            );
             print!("{}={:.2}({:?}) ", m.name(), r.ipc(), t0.elapsed());
         }
         println!();

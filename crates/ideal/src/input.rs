@@ -175,10 +175,8 @@ impl StudyInput {
 
                     // Wrong-path dependences, overlaying wrong-path writers
                     // on the correct-path producer map.
-                    let mut wl: Vec<Option<WpDep>> = last_writer
-                        .iter()
-                        .map(|o| o.map(WpDep::Correct))
-                        .collect();
+                    let mut wl: Vec<Option<WpDep>> =
+                        last_writer.iter().map(|o| o.map(WpDep::Correct)).collect();
                     let mut mask = 0u32;
                     let mut store_addrs = Vec::new();
                     let mut wrong_path = Vec::with_capacity(wp_insts.len());
@@ -194,7 +192,10 @@ impl StudyInput {
                             wl[rd.number() as usize] = Some(WpDep::Wrong(j as u32));
                             mask |= 1 << rd.number();
                         }
-                        wrong_path.push(WrongInst { class: wd.class(), deps: wdeps });
+                        wrong_path.push(WrongInst {
+                            class: wd.class(),
+                            deps: wdeps,
+                        });
                     }
                     store_addrs.sort_unstable();
                     store_addrs.dedup();
@@ -321,7 +322,10 @@ mod tests {
         let input = StudyInput::build(&p, 100_000).unwrap();
         assert!(input.trace().completed());
         assert!(input.predictions() > 0);
-        assert!(input.mispredictions() > 0, "cold-start mispredictions expected");
+        assert!(
+            input.mispredictions() > 0,
+            "cold-start mispredictions expected"
+        );
         // Every diamond-branch event must reconverge at the join.
         let join = p.label("join").unwrap();
         let diamond_branch = Pc(2);

@@ -147,7 +147,11 @@ mod tests {
 
     #[test]
     fn ipc_division() {
-        let r = IdealResult { cycles: 10, retired: 45, ..Default::default() };
+        let r = IdealResult {
+            cycles: 10,
+            retired: 45,
+            ..Default::default()
+        };
         assert!((r.ipc() - 4.5).abs() < 1e-12);
         assert_eq!(IdealResult::default().ipc(), 0.0);
     }

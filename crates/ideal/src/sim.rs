@@ -40,6 +40,7 @@
 use crate::input::{StudyInput, WpDep};
 use crate::model::{IdealConfig, IdealResult, ModelKind};
 use ci_isa::InstClass;
+use ci_obs::{Event, NoopProbe, Probe};
 use std::collections::{BTreeMap, BTreeSet};
 
 const KEY_SHIFT: u64 = 11;
@@ -72,7 +73,8 @@ struct EvState {
     resolve_at: Option<u64>,
 }
 
-struct Sim<'a> {
+struct Sim<'a, P: Probe> {
+    probe: P,
     input: &'a StudyInput,
     cfg: &'a IdealConfig,
     window: BTreeMap<u64, Slot>,
@@ -104,11 +106,30 @@ struct Sim<'a> {
 /// guarded by a generous cycle cap).
 #[must_use]
 pub fn simulate(input: &StudyInput, config: &IdealConfig) -> IdealResult {
+    simulate_probed(input, config, NoopProbe).0
+}
+
+/// Like [`simulate`], but with an observability probe attached: the engine
+/// reports fetch, issue, retire, squash, and end-of-cycle occupancy events
+/// (this engine has no rename/redispatch machinery, so the restart-sequence
+/// events of the detailed pipeline never fire). Wrong-path instructions
+/// carry their mispredicted branch's PC — the idealized input does not
+/// record per-wrong-instruction PCs.
+///
+/// # Panics
+/// Panics if the simulation fails to make forward progress (an internal
+/// bug, guarded by a generous cycle cap).
+pub fn simulate_probed<P: Probe>(
+    input: &StudyInput,
+    config: &IdealConfig,
+    probe: P,
+) -> (IdealResult, P) {
     let n = input.len() as u32;
     if n == 0 {
-        return IdealResult::default();
+        return (IdealResult::default(), probe);
     }
     let mut sim = Sim {
+        probe,
         input,
         cfg: config,
         window: BTreeMap::new(),
@@ -129,7 +150,7 @@ pub fn simulate(input: &StudyInput, config: &IdealConfig) -> IdealResult {
         evictions: 0,
     };
     sim.run();
-    IdealResult {
+    let result = IdealResult {
         cycles: sim.now,
         retired: sim.retired,
         mispredictions: if config.model == ModelKind::Oracle {
@@ -139,10 +160,11 @@ pub fn simulate(input: &StudyInput, config: &IdealConfig) -> IdealResult {
         },
         wrong_path_fetched: sim.wrong_fetched,
         evictions: sim.evictions,
-    }
+    };
+    (result, sim.probe)
 }
 
-impl Sim<'_> {
+impl<P: Probe> Sim<'_, P> {
     fn run(&mut self) {
         let n = self.input.len() as u64;
         let cap = 200 * n + 1_000_000;
@@ -153,6 +175,24 @@ impl Sim<'_> {
             self.retire();
             self.issue();
             self.fetch();
+            self.probe.record(
+                self.now,
+                Event::CycleEnd {
+                    occupancy: self.window.len() as u32,
+                },
+            );
+        }
+    }
+
+    /// The PC reported for a window item: the instruction's own PC for
+    /// correct-path items, the mispredicted branch's PC for wrong-path ones.
+    fn item_pc(&self, item: Item) -> u32 {
+        match item {
+            Item::Correct(i) => self.input.trace[i as usize].pc.0,
+            Item::Wrong { ev, .. } => {
+                let b = self.input.events[ev as usize].branch_idx;
+                self.input.trace[b as usize].pc.0
+            }
         }
     }
 
@@ -172,7 +212,10 @@ impl Sim<'_> {
                     let hi = ckey(b + 1);
                     let keys: Vec<u64> = self.window.range(lo..hi).map(|(k, _)| *k).collect();
                     for k in keys {
-                        self.window.remove(&k);
+                        if let Some(slot) = self.window.remove(&k) {
+                            let pc = self.item_pc(slot.item);
+                            self.probe.record(self.now, Event::Squash { pc });
+                        }
                     }
                 }
                 _ => i += 1,
@@ -182,7 +225,9 @@ impl Sim<'_> {
 
     fn retire(&mut self) {
         for _ in 0..self.cfg.width {
-            let Some((&k, slot)) = self.window.first_key_value() else { break };
+            let Some((&k, slot)) = self.window.first_key_value() else {
+                break;
+            };
             let Item::Correct(i) = slot.item else { break };
             if i != self.next_retire || k != ckey(i) {
                 break;
@@ -192,6 +237,13 @@ impl Sim<'_> {
                 break;
             }
             self.window.pop_first();
+            self.probe.record(
+                self.now,
+                Event::Retire {
+                    pc: self.input.trace[i as usize].pc.0,
+                    issues: 1,
+                },
+            );
             self.next_retire += 1;
             self.retired += 1;
         }
@@ -216,6 +268,9 @@ impl Sim<'_> {
             let slot = self.window.get_mut(&k).expect("slot present");
             slot.issued = true;
             let item = slot.item;
+            let pc = self.item_pc(item);
+            self.probe
+                .record(self.now, Event::Issue { pc, reissue: false });
             // Completion = last execution cycle; a dependent instruction can
             // issue (with full bypassing) the following cycle, so 1-cycle ops
             // chain back-to-back.
@@ -379,7 +434,9 @@ impl Sim<'_> {
 
     fn fetch(&mut self) {
         for _ in 0..self.cfg.width {
-            let Some((k, item)) = self.next_fetch_item() else { break };
+            let Some((k, item)) = self.next_fetch_item() else {
+                break;
+            };
             // Window capacity: evict the youngest entry if it is younger than
             // the incoming instruction (a restart overflowing the window);
             // otherwise stall.
@@ -389,6 +446,8 @@ impl Sim<'_> {
                     break;
                 }
                 let victim = self.window.remove(&maxk).expect("present");
+                let vpc = self.item_pc(victim.item);
+                self.probe.record(self.now, Event::Squash { pc: vpc });
                 match victim.item {
                     Item::Correct(vi) => {
                         self.comp[vi as usize] = u64::MAX;
@@ -401,9 +460,19 @@ impl Sim<'_> {
                 }
             }
 
+            self.probe.record(
+                self.now,
+                Event::Fetch {
+                    pc: self.item_pc(item),
+                },
+            );
             self.window.insert(
                 k,
-                Slot { item, fetch_cycle: self.now, issued: false },
+                Slot {
+                    item,
+                    fetch_cycle: self.now,
+                    issued: false,
+                },
             );
 
             match item {
@@ -450,7 +519,11 @@ mod tests {
     fn run(input: &StudyInput, model: ModelKind, window: usize) -> IdealResult {
         simulate(
             input,
-            &IdealConfig { model, window, ..IdealConfig::default() },
+            &IdealConfig {
+                model,
+                window,
+                ..IdealConfig::default()
+            },
         )
     }
 
@@ -520,7 +593,10 @@ mod tests {
         // oracle >= nWR-nFD >= nWR-FD >= base (roughly; allow tiny slack for
         // the legitimate case where out-of-order fetch beats oracle, which
         // the paper notes can happen).
-        let p = Workload::GoLike.build(&WorkloadParams { scale: 300, seed: 9 });
+        let p = Workload::GoLike.build(&WorkloadParams {
+            scale: 300,
+            seed: 9,
+        });
         let input = StudyInput::build(&p, 50_000).unwrap();
         let ipc = |m| run(&input, m, 256).ipc();
         let oracle = ipc(ModelKind::Oracle);
@@ -528,8 +604,14 @@ mod tests {
         let nwr_fd = ipc(ModelKind::NwrFd);
         let wr_fd = ipc(ModelKind::WrFd);
         let base = ipc(ModelKind::Base);
-        assert!(oracle >= nwr_nfd * 0.98, "oracle {oracle} nwr_nfd {nwr_nfd}");
-        assert!(nwr_nfd >= nwr_fd * 0.999, "nwr_nfd {nwr_nfd} nwr_fd {nwr_fd}");
+        assert!(
+            oracle >= nwr_nfd * 0.98,
+            "oracle {oracle} nwr_nfd {nwr_nfd}"
+        );
+        assert!(
+            nwr_nfd >= nwr_fd * 0.999,
+            "nwr_nfd {nwr_nfd} nwr_fd {nwr_fd}"
+        );
         assert!(nwr_fd >= base * 0.999, "nwr_fd {nwr_fd} base {base}");
         assert!(wr_fd >= base * 0.999, "wr_fd {wr_fd} base {base}");
         assert!(oracle > base, "mispredictions must cost something");
@@ -549,7 +631,10 @@ mod tests {
 
     #[test]
     fn wrong_path_fetch_only_in_wr_models() {
-        let p = Workload::GoLike.build(&WorkloadParams { scale: 200, seed: 5 });
+        let p = Workload::GoLike.build(&WorkloadParams {
+            scale: 200,
+            seed: 5,
+        });
         let input = StudyInput::build(&p, 30_000).unwrap();
         assert!(input.mispredictions() > 0);
         assert_eq!(run(&input, ModelKind::NwrNfd, 256).wrong_path_fetched, 0);

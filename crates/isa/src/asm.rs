@@ -129,16 +129,31 @@ impl Asm {
     }
 
     fn push_target(&mut self, inst: Inst, target: Target) -> &mut Self {
-        self.insts.push(Pending { inst, target: Some(target) });
+        self.insts.push(Pending {
+            inst,
+            target: Some(target),
+        });
         self
     }
 
     fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.push(Inst { op, rd, rs1, rs2, imm: 0 })
+        self.push(Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        })
     }
 
     fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.push(Inst { op, rd, rs1, rs2: Reg::R0, imm })
+        self.push(Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::R0,
+            imm,
+        })
     }
 
     /// `rd = rs1 + rs2`
@@ -227,11 +242,26 @@ impl Asm {
     }
     /// `mem[rs1 + imm] = src`
     pub fn store(&mut self, src: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.push(Inst { op: Op::Store, rd: Reg::R0, rs1, rs2: src, imm })
+        self.push(Inst {
+            op: Op::Store,
+            rd: Reg::R0,
+            rs1,
+            rs2: src,
+            imm,
+        })
     }
 
     fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Self {
-        self.push_target(Inst { op, rd: Reg::R0, rs1, rs2, imm: 0 }, target.into())
+        self.push_target(
+            Inst {
+                op,
+                rd: Reg::R0,
+                rs1,
+                rs2,
+                imm: 0,
+            },
+            target.into(),
+        )
     }
 
     /// Branch to `target` if `rs1 == rs2`.
@@ -254,7 +284,13 @@ impl Asm {
     /// Unconditional jump to `target`.
     pub fn jump(&mut self, target: impl Into<Target>) -> &mut Self {
         self.push_target(
-            Inst { op: Op::Jump, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R0, imm: 0 },
+            Inst {
+                op: Op::Jump,
+                rd: Reg::R0,
+                rs1: Reg::R0,
+                rs2: Reg::R0,
+                imm: 0,
+            },
             target.into(),
         )
     }
@@ -262,19 +298,37 @@ impl Asm {
     /// Call: `ra = pc + 1`, jump to `target`.
     pub fn call(&mut self, target: impl Into<Target>) -> &mut Self {
         self.push_target(
-            Inst { op: Op::Jal, rd: Reg::RA, rs1: Reg::R0, rs2: Reg::R0, imm: 0 },
+            Inst {
+                op: Op::Jal,
+                rd: Reg::RA,
+                rs1: Reg::R0,
+                rs2: Reg::R0,
+                imm: 0,
+            },
             target.into(),
         )
     }
 
     /// Return: `jalr r0, ra, 0`.
     pub fn ret(&mut self) -> &mut Self {
-        self.push(Inst { op: Op::Jalr, rd: Reg::R0, rs1: Reg::RA, rs2: Reg::R0, imm: 0 })
+        self.push(Inst {
+            op: Op::Jalr,
+            rd: Reg::R0,
+            rs1: Reg::RA,
+            rs2: Reg::R0,
+            imm: 0,
+        })
     }
 
     /// Indirect jump to `rs1 + imm`, writing the return address to `rd`.
     pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.push(Inst { op: Op::Jalr, rd, rs1, rs2: Reg::R0, imm })
+        self.push(Inst {
+            op: Op::Jalr,
+            rd,
+            rs1,
+            rs2: Reg::R0,
+            imm,
+        })
     }
 
     /// Indirect jump with a software hint listing its possible targets (the
@@ -288,7 +342,13 @@ impl Asm {
 
     /// Stop the machine.
     pub fn halt(&mut self) -> &mut Self {
-        self.push(Inst { op: Op::Halt, rd: Reg::R0, rs1: Reg::R0, rs2: Reg::R0, imm: 0 })
+        self.push(Inst {
+            op: Op::Halt,
+            rd: Reg::R0,
+            rs1: Reg::R0,
+            rs2: Reg::R0,
+            imm: 0,
+        })
     }
 
     /// No operation.
@@ -369,7 +429,13 @@ impl Asm {
             Some(t) => self.resolve(t)?,
             None => Pc(0),
         };
-        Ok(Program::from_parts(insts, entry, self.labels.clone(), hints, data))
+        Ok(Program::from_parts(
+            insts,
+            entry,
+            self.labels.clone(),
+            hints,
+            data,
+        ))
     }
 }
 
@@ -403,7 +469,10 @@ mod tests {
     fn undefined_label_rejected() {
         let mut a = Asm::new();
         a.jump("nowhere");
-        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]
@@ -443,7 +512,10 @@ mod tests {
         a.li(Reg::R1, 7).mv(Reg::R2, Reg::R1).ret();
         let p = a.assemble().unwrap();
         assert_eq!(p.fetch(Pc(0)).unwrap().op, Op::Addi);
-        assert_eq!(p.fetch(Pc(1)).unwrap().sources().collect::<Vec<_>>(), vec![Reg::R1]);
+        assert_eq!(
+            p.fetch(Pc(1)).unwrap().sources().collect::<Vec<_>>(),
+            vec![Reg::R1]
+        );
         assert_eq!(p.fetch(Pc(2)).unwrap().class(), InstClass::Return);
     }
 

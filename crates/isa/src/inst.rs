@@ -241,9 +241,14 @@ impl Inst {
             | Op::Srl
             | Op::Slt
             | Op::Sltu => (Some(self.rs1), Some(self.rs2)),
-            Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Slli | Op::Srli | Op::Load => {
-                (Some(self.rs1), None)
-            }
+            Op::Addi
+            | Op::Andi
+            | Op::Ori
+            | Op::Xori
+            | Op::Slti
+            | Op::Slli
+            | Op::Srli
+            | Op::Load => (Some(self.rs1), None),
             Op::Store => (Some(self.rs1), Some(self.rs2)),
             Op::Beq | Op::Bne | Op::Blt | Op::Bge => (Some(self.rs1), Some(self.rs2)),
             Op::Jalr => (Some(self.rs1), None),
@@ -265,16 +270,24 @@ impl Inst {
     /// own PC (a loop-closing, "backward" branch as seen by a decoder).
     #[must_use]
     pub fn is_backward_branch(&self, pc: Pc) -> bool {
-        self.class() == InstClass::CondBranch
-            && self.static_target().is_some_and(|t| t <= pc)
+        self.class() == InstClass::CondBranch && self.static_target().is_some_and(|t| t <= pc)
     }
 }
 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::And | Op::Or | Op::Xor | Op::Sll
-            | Op::Srl | Op::Slt | Op::Sltu => write!(
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Sll
+            | Op::Srl
+            | Op::Slt
+            | Op::Sltu => write!(
                 f,
                 "{} {}, {}, {}",
                 format!("{:?}", self.op).to_lowercase(),
@@ -320,16 +333,37 @@ mod tests {
     use super::*;
 
     fn inst(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
-        Inst { op, rd, rs1, rs2, imm }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     #[test]
     fn classes() {
-        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).class(), InstClass::IntAlu);
-        assert_eq!(inst(Op::Mul, Reg::R1, Reg::R2, Reg::R3, 0).class(), InstClass::IntMul);
-        assert_eq!(inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).class(), InstClass::Load);
-        assert_eq!(inst(Op::Beq, Reg::R0, Reg::R1, Reg::R2, 7).class(), InstClass::CondBranch);
-        assert_eq!(inst(Op::Jal, Reg::RA, Reg::R0, Reg::R0, 7).class(), InstClass::Call);
+        assert_eq!(
+            inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).class(),
+            InstClass::IntAlu
+        );
+        assert_eq!(
+            inst(Op::Mul, Reg::R1, Reg::R2, Reg::R3, 0).class(),
+            InstClass::IntMul
+        );
+        assert_eq!(
+            inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).class(),
+            InstClass::Load
+        );
+        assert_eq!(
+            inst(Op::Beq, Reg::R0, Reg::R1, Reg::R2, 7).class(),
+            InstClass::CondBranch
+        );
+        assert_eq!(
+            inst(Op::Jal, Reg::RA, Reg::R0, Reg::R0, 7).class(),
+            InstClass::Call
+        );
         let ret = inst(Op::Jalr, Reg::R0, Reg::RA, Reg::R0, 0);
         assert_eq!(ret.class(), InstClass::Return);
         let ij = inst(Op::Jalr, Reg::R0, Reg::R5, Reg::R0, 0);
@@ -367,14 +401,26 @@ mod tests {
         assert_eq!(b.static_target(), Some(Pc(3)));
         assert!(b.is_backward_branch(Pc(10)));
         assert!(!b.is_backward_branch(Pc(1)));
-        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).static_target(), None);
+        assert_eq!(
+            inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).static_target(),
+            None
+        );
     }
 
     #[test]
     fn display_smoke() {
-        assert_eq!(inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).to_string(), "add r1, r2, r3");
-        assert_eq!(inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).to_string(), "load r1, 8(r2)");
-        assert_eq!(inst(Op::Jalr, Reg::R0, Reg::RA, Reg::R0, 0).to_string(), "ret");
+        assert_eq!(
+            inst(Op::Add, Reg::R1, Reg::R2, Reg::R3, 0).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            inst(Op::Load, Reg::R1, Reg::R2, Reg::R0, 8).to_string(),
+            "load r1, 8(r2)"
+        );
+        assert_eq!(
+            inst(Op::Jalr, Reg::R0, Reg::RA, Reg::R0, 0).to_string(),
+            "ret"
+        );
         assert_eq!(Inst::nop().to_string(), "nop");
     }
 }

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn custom_latencies_respected() {
-        let l = LatencyModel { int_mul: 5, ..LatencyModel::new() };
+        let l = LatencyModel {
+            int_mul: 5,
+            ..LatencyModel::new()
+        };
         assert_eq!(l.execute(InstClass::IntMul), 5);
         assert_eq!(l.execute(InstClass::IntAlu), 1);
     }

@@ -31,7 +31,13 @@ impl Program {
         indirect_targets: BTreeMap<Pc, Vec<Pc>>,
         data: Vec<(Addr, u64)>,
     ) -> Program {
-        Program { insts, entry, labels, indirect_targets, data }
+        Program {
+            insts,
+            entry,
+            labels,
+            indirect_targets,
+            data,
+        }
     }
 
     /// Number of static instructions.
@@ -91,8 +97,11 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let by_pc: BTreeMap<Pc, &str> =
-            self.labels.iter().map(|(n, pc)| (*pc, n.as_str())).collect();
+        let by_pc: BTreeMap<Pc, &str> = self
+            .labels
+            .iter()
+            .map(|(n, pc)| (*pc, n.as_str()))
+            .collect();
         for (i, inst) in self.insts.iter().enumerate() {
             let pc = Pc(i as u32);
             if let Some(name) = by_pc.get(&pc) {

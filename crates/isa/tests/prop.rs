@@ -9,13 +9,34 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        Just(Op::Add), Just(Op::Sub), Just(Op::Mul), Just(Op::Div),
-        Just(Op::And), Just(Op::Or), Just(Op::Xor), Just(Op::Sll),
-        Just(Op::Srl), Just(Op::Slt), Just(Op::Sltu), Just(Op::Addi),
-        Just(Op::Andi), Just(Op::Ori), Just(Op::Xori), Just(Op::Slti),
-        Just(Op::Slli), Just(Op::Srli), Just(Op::Load), Just(Op::Store),
-        Just(Op::Beq), Just(Op::Bne), Just(Op::Blt), Just(Op::Bge),
-        Just(Op::Jump), Just(Op::Jal), Just(Op::Jalr), Just(Op::Halt),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Sll),
+        Just(Op::Srl),
+        Just(Op::Slt),
+        Just(Op::Sltu),
+        Just(Op::Addi),
+        Just(Op::Andi),
+        Just(Op::Ori),
+        Just(Op::Xori),
+        Just(Op::Slti),
+        Just(Op::Slli),
+        Just(Op::Srli),
+        Just(Op::Load),
+        Just(Op::Store),
+        Just(Op::Beq),
+        Just(Op::Bne),
+        Just(Op::Blt),
+        Just(Op::Bge),
+        Just(Op::Jump),
+        Just(Op::Jal),
+        Just(Op::Jalr),
+        Just(Op::Halt),
         Just(Op::Nop),
     ]
 }

@@ -1,0 +1,177 @@
+//! A bounded "flight recorder": ring buffer of the most recent pipeline
+//! events, dumped when a simulation dies so the post-mortem shows what the
+//! machine was doing in its final cycles.
+
+use crate::probe::{Event, Probe};
+use std::collections::VecDeque;
+
+/// Retains the last `max_events` events spanning at most `max_cycles`
+/// distinct cycles. Cheap enough to leave on during debugging runs; the
+/// ring never reallocates after warm-up.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    ring: VecDeque<(u64, Event)>,
+    max_events: usize,
+    max_cycles: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Default event capacity (events, not cycles).
+    pub const DEFAULT_EVENTS: usize = 4096;
+    /// Default cycle span retained.
+    pub const DEFAULT_CYCLES: u64 = 64;
+
+    /// A recorder with the default bounds.
+    #[must_use]
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(
+            FlightRecorder::DEFAULT_EVENTS,
+            FlightRecorder::DEFAULT_CYCLES,
+        )
+    }
+
+    /// A recorder retaining at most `max_events` events from the last
+    /// `max_cycles` cycles. Both bounds are clamped to at least 1.
+    #[must_use]
+    pub fn with_capacity(max_events: usize, max_cycles: u64) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(max_events.clamp(1, 1 << 20)),
+            max_events: max_events.max(1),
+            max_cycles: max_cycles.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything aged out).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted so far (by either bound).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = (u64, Event)> + '_ {
+        self.ring.iter().copied()
+    }
+
+    fn evict_for(&mut self, cycle: u64) {
+        let floor = cycle.saturating_sub(self.max_cycles - 1);
+        while let Some(&(c, _)) = self.ring.front() {
+            if c >= floor && self.ring.len() < self.max_events {
+                break;
+            }
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Render the retained tail as a cycle-grouped transcript.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.ring.is_empty() {
+            out.push_str("flight recorder: empty\n");
+            return out;
+        }
+        let first = self.ring.front().map(|&(c, _)| c).unwrap_or(0);
+        let last = self.ring.back().map(|&(c, _)| c).unwrap_or(0);
+        out.push_str(&format!(
+            "flight recorder: {} events, cycles {first}..={last} ({} older events dropped)\n",
+            self.ring.len(),
+            self.dropped
+        ));
+        let mut current = u64::MAX;
+        for &(cycle, event) in &self.ring {
+            if cycle != current {
+                out.push_str(&format!("  cycle {cycle}:\n"));
+                current = cycle;
+            }
+            out.push_str(&format!("    {event}\n"));
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new()
+    }
+}
+
+impl Probe for FlightRecorder {
+    #[inline]
+    fn record(&mut self, cycle: u64, event: Event) {
+        self.evict_for(cycle);
+        self.ring.push_back((cycle, event));
+    }
+
+    fn dump(&self) -> Option<String> {
+        Some(self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_bound_is_enforced() {
+        let mut fr = FlightRecorder::with_capacity(4, u64::MAX);
+        for i in 0..10u64 {
+            fr.record(i, Event::Fetch { pc: i as u32 });
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.dropped(), 6);
+        let cycles: Vec<u64> = fr.events().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn cycle_bound_ages_out_old_events() {
+        let mut fr = FlightRecorder::with_capacity(1000, 3);
+        for i in 0..10u64 {
+            fr.record(
+                i,
+                Event::CycleEnd {
+                    occupancy: i as u32,
+                },
+            );
+        }
+        // Cycles 7, 8, 9 survive a 3-cycle window ending at 9.
+        let cycles: Vec<u64> = fr.events().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![7, 8, 9]);
+        assert_eq!(fr.dropped(), 7);
+    }
+
+    #[test]
+    fn render_groups_by_cycle() {
+        let mut fr = FlightRecorder::new();
+        assert!(fr.render().contains("empty"));
+        fr.record(5, Event::Fetch { pc: 0 });
+        fr.record(5, Event::Dispatch { pc: 0 });
+        fr.record(
+            6,
+            Event::Issue {
+                pc: 0,
+                reissue: false,
+            },
+        );
+        let text = fr.render();
+        assert_eq!(text.matches("cycle 5:").count(), 1);
+        assert_eq!(text.matches("cycle 6:").count(), 1);
+        assert!(text.contains("fetch pc=0"));
+        assert!(fr.dump().is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-accurate observability for the control-independence simulation
+//! suite.
+//!
+//! The pipeline in `ci-core` is generic over a [`Probe`] — a sink that
+//! receives one [`Event`] per pipeline action (fetch, dispatch, issue,
+//! writeback, retire, squash, restart spans, redispatch, reissue, and an
+//! end-of-cycle occupancy marker). The default [`NoopProbe`] is a zero-sized
+//! type whose `record` inlines to nothing, so instrumentation costs nothing
+//! unless a real probe is plugged in.
+//!
+//! Bundled sinks:
+//!
+//! * [`MetricsProbe`] — event counters plus fixed-bucket histograms of
+//!   restart-sequence length, distance to reconvergence, per-cycle window
+//!   occupancy, and per-instruction reissue counts, exported through a
+//!   [`Registry`].
+//! * [`FlightRecorder`] — bounded ring buffer of the most recent events,
+//!   rendered as a cycle-grouped transcript when a run dies.
+//! * [`TimelineProbe`] — per-cycle activity records powering the `inspect`
+//!   binary's pipeline timeline.
+//!
+//! The [`json`] module is a dependency-free JSON-lines writer/parser used
+//! by the exporters; nothing in this crate links outside `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod flight;
+mod metrics;
+mod probe;
+mod timeline;
+
+pub use flight::FlightRecorder;
+pub use json::JsonValue;
+pub use metrics::{EventCounters, Histogram, MetricsProbe, Registry};
+pub use probe::{Event, EventKind, NoopProbe, Probe, ReissueKind};
+pub use timeline::{CycleRecord, TimelineProbe};

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ci_obs::json::JsonValue;
 use std::fmt;
 
 /// A titled text table with aligned columns.
@@ -34,7 +35,11 @@ impl Table {
     /// Create an empty table with a title.
     #[must_use]
     pub fn new(title: &str) -> Table {
-        Table { title: title.to_owned(), headers: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.to_owned(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Set the column headers.
@@ -59,6 +64,50 @@ impl Table {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers (empty for headerless tables).
+    #[must_use]
+    pub fn header_cells(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Export the table as JSON lines: one object per data row, keyed by
+    /// the column headers (`col<N>` for columns without headers), plus
+    /// `"table"` (the title) and `"row"` (the 0-based row index). Cells
+    /// that parse as numbers are emitted as JSON numbers — a trailing `%`
+    /// is dropped first, so `"12.3%"` exports as `12.3`.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (idx, row) in self.rows.iter().enumerate() {
+            let mut pairs: Vec<(String, JsonValue)> = vec![
+                ("table".to_owned(), JsonValue::from(self.title.as_str())),
+                ("row".to_owned(), JsonValue::from(idx)),
+            ];
+            for (i, cell) in row.iter().enumerate() {
+                let key = self
+                    .headers
+                    .get(i)
+                    .map_or_else(|| format!("col{i}"), Clone::clone);
+                pairs.push((key, cell_value(cell)));
+            }
+            out.push_str(&JsonValue::Obj(pairs).render());
+            out.push('\n');
+        }
+        out
     }
 
     /// Render the table with aligned columns.
@@ -110,6 +159,23 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// Interpret a table cell for JSON export: integer, float, percentage
+/// (`"12.3%"` → `12.3`), or string.
+fn cell_value(cell: &str) -> JsonValue {
+    if let Ok(v) = cell.parse::<i64>() {
+        return JsonValue::I64(v);
+    }
+    if let Ok(v) = cell.parse::<f64>() {
+        return JsonValue::F64(v);
+    }
+    if let Some(stripped) = cell.strip_suffix('%') {
+        if let Ok(v) = stripped.parse::<f64>() {
+            return JsonValue::F64(v);
+        }
+    }
+    JsonValue::from(cell)
 }
 
 /// Format a float with `prec` decimal places.
@@ -173,5 +239,43 @@ mod tests {
         let mut t = Table::new("D");
         t.row(vec!["z".into()]);
         assert_eq!(t.to_string(), t.render());
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let mut t = Table::new("T");
+        t.headers(&["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        assert_eq!(t.title(), "T");
+        assert_eq!(t.header_cells(), ["a", "b"]);
+        assert_eq!(t.data_rows().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_typed_cells() {
+        let mut t = Table::new("TABLE X");
+        t.headers(&["bench", "ipc", "rate"]);
+        t.row(vec!["go".into(), "3.25".into(), "8.3%".into()]);
+        t.row(vec!["jpeg".into(), "4".into(), "n/a".into()]);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = ci_obs::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("table").unwrap().as_str(), Some("TABLE X"));
+        assert_eq!(first.get("row").unwrap().as_i64(), Some(0));
+        assert_eq!(first.get("bench").unwrap().as_str(), Some("go"));
+        assert_eq!(first.get("ipc").unwrap().as_f64(), Some(3.25));
+        assert_eq!(first.get("rate").unwrap().as_f64(), Some(8.3));
+        let second = ci_obs::json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ipc").unwrap().as_i64(), Some(4));
+        assert_eq!(second.get("rate").unwrap().as_str(), Some("n/a"));
+    }
+
+    #[test]
+    fn jsonl_headerless_uses_column_indices() {
+        let mut t = Table::new("H");
+        t.row(vec!["7".into()]);
+        let v = ci_obs::json::parse(t.to_jsonl().trim()).unwrap();
+        assert_eq!(v.get("col0").unwrap().as_i64(), Some(7));
     }
 }

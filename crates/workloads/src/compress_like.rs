@@ -98,10 +98,17 @@ mod tests {
 
     #[test]
     fn halts_with_aliasing_traffic() {
-        let p = build(&WorkloadParams { scale: 200, seed: 1 });
+        let p = build(&WorkloadParams {
+            scale: 200,
+            seed: 1,
+        });
         let t = run_trace(&p, 100_000).unwrap();
         assert!(t.completed());
-        let stores = t.insts().iter().filter(|d| d.class() == InstClass::Store).count();
+        let stores = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == InstClass::Store)
+            .count();
         assert!(stores >= 200);
         // Store→load aliasing must actually occur (same table slot reused).
         let mut store_addrs = std::collections::HashSet::new();
@@ -122,7 +129,10 @@ mod tests {
 
     #[test]
     fn rescale_block_exercised() {
-        let p = build(&WorkloadParams { scale: 300, seed: 1 });
+        let p = build(&WorkloadParams {
+            scale: 300,
+            seed: 1,
+        });
         let t = run_trace(&p, 100_000).unwrap();
         // The skip branch must be taken sometimes and not-taken sometimes.
         let skip = p

@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn halts_and_uses_all_cases() {
-        let p = build(&WorkloadParams { scale: 300, seed: 11 });
+        let p = build(&WorkloadParams {
+            scale: 300,
+            seed: 11,
+        });
         let t = run_trace(&p, 200_000).unwrap();
         assert!(t.completed());
         for case in ["case0", "case1", "case2", "case3"] {
@@ -181,7 +184,10 @@ mod tests {
 
     #[test]
     fn case_distribution_is_skewed() {
-        let p = build(&WorkloadParams { scale: 500, seed: 11 });
+        let p = build(&WorkloadParams {
+            scale: 500,
+            seed: 11,
+        });
         let t = run_trace(&p, 500_000).unwrap();
         let c0 = p.label("case0").unwrap();
         let ij = t
@@ -196,7 +202,10 @@ mod tests {
 
     #[test]
     fn helper_branch_has_no_intraprocedural_reconvergence() {
-        let p = build(&WorkloadParams { scale: 10, seed: 11 });
+        let p = build(&WorkloadParams {
+            scale: 10,
+            seed: 11,
+        });
         let m = ci_cfg::ReconvergenceMap::compute(&p);
         let helper = p.label("helper").unwrap();
         // The helper's diamond branch is the bne right after the andi.

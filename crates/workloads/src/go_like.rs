@@ -41,8 +41,8 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     a.andi(Reg::R1, Reg::R10, (DATA_WORDS - 1) as i64);
     a.add(Reg::R2, Reg::R12, Reg::R1);
     a.load(Reg::R3, Reg::R2, 0); // x = data[i]
-    // Pointer chase: the branch condition depends on a second-level load,
-    // so resolving a misprediction takes a handful of cycles.
+                                 // Pointer chase: the branch condition depends on a second-level load,
+                                 // so resolving a misprediction takes a handful of cycles.
     a.andi(Reg::R4, Reg::R3, (DATA_WORDS - 1) as i64);
     a.add(Reg::R4, Reg::R12, Reg::R4);
     a.load(Reg::R5, Reg::R4, 0); // y = data[x & mask]
@@ -81,7 +81,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     // code truly gets from the diamond above — the false-data-dependence
     // structure the FD models charge for.
     a.xor(Reg::R7, Reg::R5, Reg::R13); // condition reads the checksum chain,
-    a.andi(Reg::R7, Reg::R7, 6);       // so repairs compound across iterations
+    a.andi(Reg::R7, Reg::R7, 6); // so repairs compound across iterations
     a.beq(Reg::R7, Reg::R0, "b2_skip");
     a.srli(Reg::R6, Reg::R3, 4);
     a.andi(Reg::R6, Reg::R6, 255);
@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn all_arms_exercised() {
-        let p = build(&WorkloadParams { scale: 200, seed: 1 });
+        let p = build(&WorkloadParams {
+            scale: 200,
+            seed: 1,
+        });
         let t = run_trace(&p, 100_000).unwrap();
         for l in ["b1_else", "b2_skip", "b3_else", "b1_join", "b3_join"] {
             let pc = p.label(l).unwrap();

@@ -30,7 +30,11 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
         for _ in 0..BLOCK {
             // Within-cluster noise: bright pixels clamp 80% of the time,
             // dark pixels 5% — tuned to land near ijpeg's 6.8% rate.
-            let clamps = if bright { rng.chance(80) } else { rng.chance(5) };
+            let clamps = if bright {
+                rng.chance(80)
+            } else {
+                rng.chance(5)
+            };
             data.push(if clamps {
                 // 3v/4 alone already exceeds the threshold.
                 (THRESHOLD as u64) * 2 + rng.below(1024)
@@ -65,7 +69,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     a.label("inner").unwrap();
     a.add(Reg::R3, Reg::R2, Reg::R20);
     a.load(Reg::R4, Reg::R3, 0); // v — independent across iterations
-    // Filter arithmetic: v' = (3v >> 2) + (v & 255)
+                                 // Filter arithmetic: v' = (3v >> 2) + (v & 255)
     a.slli(Reg::R5, Reg::R4, 1);
     a.add(Reg::R5, Reg::R5, Reg::R4);
     a.srli(Reg::R5, Reg::R5, 2);
@@ -111,13 +115,20 @@ mod tests {
         let p = build(&WorkloadParams { scale: 10, seed: 3 });
         let t = run_trace(&p, 100_000).unwrap();
         assert!(t.completed());
-        let stores = t.insts().iter().filter(|d| d.class() == InstClass::Store).count();
+        let stores = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == InstClass::Store)
+            .count();
         assert_eq!(stores, 10 * 8 + 1); // 8 pixels per block + checksum
     }
 
     #[test]
     fn clamp_rate_matches_engineering() {
-        let p = build(&WorkloadParams { scale: 200, seed: 3 });
+        let p = build(&WorkloadParams {
+            scale: 200,
+            seed: 3,
+        });
         let t = run_trace(&p, 1_000_000).unwrap();
         // Count clamp branches (blt r5, r21) that were NOT taken (= clamped).
         let clamp_pc = {
@@ -125,9 +136,7 @@ mod tests {
             p.insts()
                 .iter()
                 .position(|i| {
-                    i.class() == InstClass::CondBranch
-                        && i.rs1 == Reg::R5
-                        && i.rs2 == Reg::R21
+                    i.class() == InstClass::CondBranch && i.rs1 == Reg::R5 && i.rs2 == Reg::R21
                 })
                 .unwrap() as u32
         };
@@ -135,7 +144,9 @@ mod tests {
             .insts()
             .iter()
             .filter(|d| d.pc.0 == clamp_pc)
-            .fold((0u32, 0u32), |(tk, tot), d| (tk + u32::from(d.taken), tot + 1));
+            .fold((0u32, 0u32), |(tk, tot), d| {
+                (tk + u32::from(d.taken), tot + 1)
+            });
         let clamped_frac = 1.0 - f64::from(taken) / f64::from(total);
         assert!(
             (0.05..0.25).contains(&clamped_frac),

@@ -65,7 +65,10 @@ pub struct WorkloadParams {
 
 impl Default for WorkloadParams {
     fn default() -> Self {
-        WorkloadParams { scale: 1_000, seed: 0x5EED }
+        WorkloadParams {
+            scale: 1_000,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -170,7 +173,10 @@ mod tests {
     fn scale_changes_dynamic_length_roughly_linearly() {
         for w in Workload::ALL {
             let p1 = w.build(&WorkloadParams { scale: 50, seed: 7 });
-            let p2 = w.build(&WorkloadParams { scale: 100, seed: 7 });
+            let p2 = w.build(&WorkloadParams {
+                scale: 100,
+                seed: 7,
+            });
             let t1 = run_trace(&p1, 10_000_000).unwrap().len() as f64;
             let t2 = run_trace(&p2, 10_000_000).unwrap().len() as f64;
             let ratio = t2 / t1;

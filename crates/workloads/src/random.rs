@@ -119,7 +119,8 @@ impl Gen {
                 }
                 10 => {
                     if allow_calls && !self.funcs.is_empty() {
-                        let f = self.funcs[self.rng.below(self.funcs.len() as u64) as usize].clone();
+                        let f =
+                            self.funcs[self.rng.below(self.funcs.len() as u64) as usize].clone();
                         self.a.call(&f);
                     } else {
                         self.simple_op();
@@ -235,8 +236,7 @@ mod tests {
     fn many_seeds_assemble_and_halt() {
         for seed in 0..60 {
             let p = random_program(seed, 30 + (seed as usize % 70));
-            let t = run_trace(&p, 200_000)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{p}"));
+            let t = run_trace(&p, 200_000).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{p}"));
             assert!(t.completed(), "seed {seed} did not halt");
             assert!(!t.is_empty());
         }

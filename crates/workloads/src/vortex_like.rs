@@ -95,11 +95,22 @@ mod tests {
 
     #[test]
     fn halts_with_heavy_call_traffic() {
-        let p = build(&WorkloadParams { scale: 100, seed: 5 });
+        let p = build(&WorkloadParams {
+            scale: 100,
+            seed: 5,
+        });
         let t = run_trace(&p, 100_000).unwrap();
         assert!(t.completed());
-        let calls = t.insts().iter().filter(|d| d.class() == InstClass::Call).count();
-        let rets = t.insts().iter().filter(|d| d.class() == InstClass::Return).count();
+        let calls = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == InstClass::Call)
+            .count();
+        let rets = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == InstClass::Return)
+            .count();
         assert_eq!(calls, 300);
         assert_eq!(calls, rets);
     }

@@ -35,7 +35,10 @@ fn main() {
     };
 
     row("CI, postdominator recon", &run(PipelineConfig::ci(256)));
-    row("CI-I, instant redispatch", &run(PipelineConfig::ci_instant(256)));
+    row(
+        "CI-I, instant redispatch",
+        &run(PipelineConfig::ci_instant(256)),
+    );
     row(
         "CI, return/loop/ltb heuristics",
         &run(PipelineConfig {
@@ -55,21 +58,36 @@ fn main() {
         ("CI, spec-D completion", CompletionModel::SpecD),
         ("CI, spec completion", CompletionModel::Spec),
     ] {
-        row(label, &run(PipelineConfig { completion, ..PipelineConfig::ci(256) }));
+        row(
+            label,
+            &run(PipelineConfig {
+                completion,
+                ..PipelineConfig::ci(256)
+            }),
+        );
     }
     row(
         "CI, optimal preemption",
-        &run(PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(256) }),
+        &run(PipelineConfig {
+            preemption: Preemption::Optimal,
+            ..PipelineConfig::ci(256)
+        }),
     );
     for seg in [4usize, 16] {
         row(
             &format!("CI, {seg}-instruction ROB segments"),
-            &run(PipelineConfig { segment: seg, ..PipelineConfig::ci(256) }),
+            &run(PipelineConfig {
+                segment: seg,
+                ..PipelineConfig::ci(256)
+            }),
         );
     }
     row(
         "CI, no re-predict sequences",
-        &run(PipelineConfig { repredict: RepredictMode::None, ..PipelineConfig::ci(256) }),
+        &run(PipelineConfig {
+            repredict: RepredictMode::None,
+            ..PipelineConfig::ci(256)
+        }),
     );
     println!("{t}");
 }

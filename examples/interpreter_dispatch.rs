@@ -17,7 +17,9 @@ fn build_interpreter(n: i64, seed: u64) -> Program {
     let mut state = seed | 1;
     let mut ops = Vec::new();
     for _ in 0..1024 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let r = (state >> 33) % 10;
         ops.push(match r {
             0..=4 => 0u64, // add       (50%)
@@ -28,7 +30,10 @@ fn build_interpreter(n: i64, seed: u64) -> Program {
     }
     let mut a = Asm::new();
     a.words(Addr(0x1000), &ops);
-    for (i, case) in ["op_add", "op_xor", "op_shift", "op_mul"].iter().enumerate() {
+    for (i, case) in ["op_add", "op_xor", "op_shift", "op_mul"]
+        .iter()
+        .enumerate()
+    {
         a.word_label(Addr(0x2000 + i as u64), case);
     }
     a.li(Reg::R10, 0); // pc of the interpreted program
@@ -41,7 +46,12 @@ fn build_interpreter(n: i64, seed: u64) -> Program {
     a.load(Reg::R3, Reg::R2, 0); // opcode
     a.add(Reg::R4, Reg::R17, Reg::R3);
     a.load(Reg::R5, Reg::R4, 0); // handler address
-    a.jalr_hinted(Reg::R0, Reg::R5, 0, &["op_add", "op_xor", "op_shift", "op_mul"]);
+    a.jalr_hinted(
+        Reg::R0,
+        Reg::R5,
+        0,
+        &["op_add", "op_xor", "op_shift", "op_mul"],
+    );
     a.label("op_add").expect("label");
     a.addi(Reg::R6, Reg::R6, 3);
     a.jump("next");

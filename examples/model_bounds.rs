@@ -38,7 +38,14 @@ fn main() {
     for model in ModelKind::ALL {
         let mut row = vec![model.name().to_owned()];
         for window in [64, 128, 256, 512] {
-            let r = simulate_ideal(&input, &IdealConfig { model, window, ..IdealConfig::default() });
+            let r = simulate_ideal(
+                &input,
+                &IdealConfig {
+                    model,
+                    window,
+                    ..IdealConfig::default()
+                },
+            );
             results.insert((model, window), r.ipc());
             row.push(format!("{:.2}", r.ipc()));
         }

@@ -25,14 +25,14 @@ fn main() {
     a.load(Reg::R4, Reg::R3, 0);
     a.andi(Reg::R5, Reg::R4, 1);
     a.beq(Reg::R5, Reg::R0, "block3"); // data-dependent, hard-to-predict branch
-    // block 2
+                                       // block 2
     a.addi(Reg::R6, Reg::R4, 10);
     a.jump("block4");
     a.label("block3").expect("unique label");
     a.slli(Reg::R6, Reg::R4, 2);
     a.label("block4").expect("unique label"); // the reconvergent point
-    // Control-independent work: executed regardless of the diamond's
-    // outcome, and independent across iterations (window-bound ILP).
+                                              // Control-independent work: executed regardless of the diamond's
+                                              // outcome, and independent across iterations (window-bound ILP).
     a.srli(Reg::R8, Reg::R6, 3);
     a.add(Reg::R8, Reg::R8, Reg::R4);
     a.slli(Reg::R14, Reg::R8, 1);

@@ -12,10 +12,12 @@
 //! targets.
 
 use ci_core::{
-    simulate, CompletionModel, PipelineConfig, Preemption, ReconStrategy, RepredictMode, Stats,
+    simulate, simulate_probed, CompletionModel, PipelineConfig, Preemption, ReconStrategy,
+    RepredictMode, Stats,
 };
 use ci_ideal::{simulate as simulate_ideal, IdealConfig, ModelKind, StudyInput};
 use ci_isa::Program;
+use ci_obs::{Histogram, MetricsProbe};
 use ci_report::{f, pct, Table};
 use ci_workloads::{Workload, WorkloadParams};
 
@@ -33,7 +35,10 @@ impl Scale {
     /// in minutes).
     #[must_use]
     pub fn default_scale() -> Scale {
-        Scale { instructions: 60_000, seed: 0x5EED }
+        Scale {
+            instructions: 60_000,
+            seed: 0x5EED,
+        }
     }
 
     /// Read the scale from `CI_REPRO_INSTRUCTIONS` / `CI_REPRO_SEED`
@@ -62,11 +67,22 @@ impl Default for Scale {
 }
 
 fn program_for(w: Workload, scale: &Scale) -> Program {
-    w.build(&WorkloadParams { scale: w.scale_for(scale.instructions), seed: scale.seed })
+    w.build(&WorkloadParams {
+        scale: w.scale_for(scale.instructions),
+        seed: scale.seed,
+    })
 }
 
 fn run(p: &Program, cfg: PipelineConfig, scale: &Scale) -> Stats {
     simulate(p, cfg, scale.instructions).expect("workloads are valid programs")
+}
+
+/// Run with a [`MetricsProbe`] attached, for the tables that report
+/// distributions (restart-length quantiles, reissue maxima) on top of the
+/// aggregate [`Stats`].
+fn run_probed(p: &Program, cfg: PipelineConfig, scale: &Scale) -> (Stats, MetricsProbe) {
+    simulate_probed(p, cfg, scale.instructions, MetricsProbe::new())
+        .expect("workloads are valid programs")
 }
 
 /// Table 1: benchmark information (dynamic instruction counts and
@@ -74,7 +90,12 @@ fn run(p: &Program, cfg: PipelineConfig, scale: &Scale) -> Stats {
 #[must_use]
 pub fn table1(scale: &Scale) -> Table {
     let mut t = Table::new("TABLE 1. Benchmark information.");
-    t.headers(&["benchmark", "instruction count", "misprediction rate", "paper"]);
+    t.headers(&[
+        "benchmark",
+        "instruction count",
+        "misprediction rate",
+        "paper",
+    ]);
     let paper = ["8.3%", "16.7%", "9.1%", "6.8%", "1.4%"];
     for (w, paper_rate) in Workload::ALL.into_iter().zip(paper) {
         let p = program_for(w, scale);
@@ -92,10 +113,17 @@ pub fn table1(scale: &Scale) -> Table {
 /// Figure 3: IPC of the six idealized models as a function of window size.
 #[must_use]
 pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
-    let mut t = Table::new(
-        "FIGURE 3. Performance of the six control independence models (IPC).",
-    );
-    t.headers(&["benchmark", "window", "oracle", "nWR-nFD", "nWR-FD", "WR-nFD", "WR-FD", "base"]);
+    let mut t = Table::new("FIGURE 3. Performance of the six control independence models (IPC).");
+    t.headers(&[
+        "benchmark",
+        "window",
+        "oracle",
+        "nWR-nFD",
+        "nWR-FD",
+        "WR-nFD",
+        "WR-FD",
+        "base",
+    ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let input = StudyInput::build(&p, scale.instructions).expect("valid program");
@@ -109,7 +137,14 @@ pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
                 ModelKind::WrFd,
                 ModelKind::Base,
             ] {
-                let r = simulate_ideal(&input, &IdealConfig { model, window, ..IdealConfig::default() });
+                let r = simulate_ideal(
+                    &input,
+                    &IdealConfig {
+                        model,
+                        window,
+                        ..IdealConfig::default()
+                    },
+                );
                 row.push(f(r.ipc(), 2));
             }
             t.row(row);
@@ -122,9 +157,7 @@ pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
 /// percentage improvement of CI over BASE.
 #[must_use]
 pub fn figure5_6(scale: &Scale, windows: &[usize]) -> (Table, Table) {
-    let mut ipc = Table::new(
-        "FIGURE 5. Performance with and without control independence (IPC).",
-    );
+    let mut ipc = Table::new("FIGURE 5. Performance with and without control independence (IPC).");
     ipc.headers(&["benchmark", "window", "BASE", "CI", "CI-I"]);
     let mut imp = Table::new("FIGURE 6. Percent improvement in IPC due to control independence.");
     imp.headers(&["benchmark", "window", "CI vs BASE", "CI-I vs CI"]);
@@ -163,10 +196,12 @@ pub fn table2(scale: &Scale) -> Table {
         "avg inserted",
         "avg CI instr",
         "avg CI renamed",
+        "restart p50",
+        "restart p90",
     ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
-        let s = run(&p, PipelineConfig::ci(256), scale);
+        let (s, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
         t.row(vec![
             w.name().to_owned(),
             pct(s.reconvergence_rate()),
@@ -174,6 +209,8 @@ pub fn table2(scale: &Scale) -> Table {
             f(s.avg_inserted(), 1),
             f(s.avg_ci(), 1),
             f(s.avg_ci_renamed(), 2),
+            probe.restart_length.quantile(0.5).to_string(),
+            probe.restart_length.quantile(0.9).to_string(),
         ]);
     }
     t
@@ -184,12 +221,24 @@ pub fn table2(scale: &Scale) -> Table {
 #[must_use]
 pub fn table3(scale: &Scale) -> Table {
     let mut t = Table::new("TABLE 3. Work saved by exploiting control independence (window 256).");
-    t.headers(&["benchmark", "fetch saved", "work saved", "work discarded", "had only fetched"]);
+    t.headers(&[
+        "benchmark",
+        "fetch saved",
+        "work saved",
+        "work discarded",
+        "had only fetched",
+    ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let s = run(&p, PipelineConfig::ci(256), scale);
         let (fs, ws, wd, of) = s.work_saved_fractions();
-        t.row(vec![w.name().to_owned(), pct(fs), pct(ws), pct(wd), pct(of)]);
+        t.row(vec![
+            w.name().to_owned(),
+            pct(fs),
+            pct(ws),
+            pct(wd),
+            pct(of),
+        ]);
     }
     t
 }
@@ -206,11 +255,19 @@ pub fn table4(scale: &Scale) -> Table {
         "CI total",
         "CI mem",
         "CI reg",
+        "CI max issues",
     ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let b = run(&p, PipelineConfig::base(256), scale);
-        let c = run(&p, PipelineConfig::ci(256), scale);
+        let (c, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
+        // `reissues` records (issues - 1) per retired instruction, so the
+        // worst-case issue count is its maximum plus the original issue.
+        let max_issues = if probe.reissues.is_empty() {
+            0
+        } else {
+            probe.reissues.max() + 1
+        };
         t.row(vec![
             w.name().to_owned(),
             f(b.issues_per_retired(), 2),
@@ -218,6 +275,7 @@ pub fn table4(scale: &Scale) -> Table {
             f(c.issues_per_retired(), 2),
             f(c.mem_violations_per_retired(), 3),
             f(c.reg_violations_per_retired(), 3),
+            max_issues.to_string(),
         ]);
     }
     t
@@ -227,17 +285,29 @@ pub fn table4(scale: &Scale) -> Table {
 #[must_use]
 pub fn figure8(scale: &Scale) -> Table {
     let mut t = Table::new("FIGURE 8. Simple vs optimal preemption (window 256).");
-    t.headers(&["benchmark", "simple IPC", "optimal IPC", "optimal gain", "avg restart cycles"]);
+    t.headers(&[
+        "benchmark",
+        "simple IPC",
+        "optimal IPC",
+        "optimal gain",
+        "avg restart cycles",
+    ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let s = run(
             &p,
-            PipelineConfig { preemption: Preemption::Simple, ..PipelineConfig::ci(256) },
+            PipelineConfig {
+                preemption: Preemption::Simple,
+                ..PipelineConfig::ci(256)
+            },
             scale,
         );
         let o = run(
             &p,
-            PipelineConfig { preemption: Preemption::Optimal, ..PipelineConfig::ci(256) },
+            PipelineConfig {
+                preemption: Preemption::Optimal,
+                ..PipelineConfig::ci(256)
+            },
             scale,
         );
         t.row(vec![
@@ -320,7 +390,10 @@ pub fn figure10(scale: &Scale) -> Table {
         let p = program_for(w, scale);
         let s = run(
             &p,
-            PipelineConfig { completion: CompletionModel::Spec, ..PipelineConfig::ci(256) },
+            PipelineConfig {
+                completion: CompletionModel::Spec,
+                ..PipelineConfig::ci(256)
+            },
             scale,
         );
         t.row(vec![
@@ -346,7 +419,14 @@ pub fn figure12(scale: &Scale) -> Table {
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let c = run(&p, PipelineConfig::ci(256), scale);
-        let o = run(&p, PipelineConfig { oracle_ghr: true, ..PipelineConfig::ci(256) }, scale);
+        let o = run(
+            &p,
+            PipelineConfig {
+                oracle_ghr: true,
+                ..PipelineConfig::ci(256)
+            },
+            scale,
+        );
         t.row(vec![
             w.name().to_owned(),
             f(c.ipc(), 2),
@@ -368,8 +448,19 @@ pub fn figure13(scale: &Scale) -> Table {
         let p = program_for(w, scale);
         let b = run(&p, PipelineConfig::base(256), scale);
         let mut row = vec![w.name().to_owned(), f(b.ipc(), 2)];
-        for rp in [RepredictMode::None, RepredictMode::Heuristic, RepredictMode::Oracle] {
-            let s = run(&p, PipelineConfig { repredict: rp, ..PipelineConfig::ci(256) }, scale);
+        for rp in [
+            RepredictMode::None,
+            RepredictMode::Heuristic,
+            RepredictMode::Oracle,
+        ] {
+            let s = run(
+                &p,
+                PipelineConfig {
+                    repredict: rp,
+                    ..PipelineConfig::ci(256)
+                },
+                scale,
+            );
             row.push(f(s.ipc(), 2));
         }
         t.row(row);
@@ -381,13 +472,29 @@ pub fn figure13(scale: &Scale) -> Table {
 #[must_use]
 pub fn figure14(scale: &Scale) -> Table {
     let mut t = Table::new("FIGURE 14. Varying ROB segment size (window 256).");
-    t.headers(&["benchmark", "base", "seg=1", "seg=4", "seg=16", "imp@1", "imp@4", "imp@16"]);
+    t.headers(&[
+        "benchmark",
+        "base",
+        "seg=1",
+        "seg=4",
+        "seg=16",
+        "imp@1",
+        "imp@4",
+        "imp@16",
+    ]);
     for w in Workload::ALL {
         let p = program_for(w, scale);
         let b = run(&p, PipelineConfig::base(256), scale);
         let mut ipcs = Vec::new();
         for seg in [1usize, 4, 16] {
-            let s = run(&p, PipelineConfig { segment: seg, ..PipelineConfig::ci(256) }, scale);
+            let s = run(
+                &p,
+                PipelineConfig {
+                    segment: seg,
+                    ..PipelineConfig::ci(256)
+                },
+                scale,
+            );
             ipcs.push(s.ipc());
         }
         t.row(vec![
@@ -411,7 +518,17 @@ pub fn figure17(scale: &Scale) -> Table {
     let mut t = Table::new(
         "FIGURE 17. Instruction-type heuristics for reconvergent points (% IPC improvement over base, window 256).",
     );
-    t.headers(&["benchmark", "return", "loop", "ltb", "return/loop", "return/ltb", "loop/ltb", "all", "CI (postdom)"]);
+    t.headers(&[
+        "benchmark",
+        "return",
+        "loop",
+        "ltb",
+        "return/loop",
+        "return/ltb",
+        "loop/ltb",
+        "all",
+        "CI (postdom)",
+    ]);
     let combos: [(&str, ReconStrategy); 7] = [
         ("return", ReconStrategy::hardware(true, false, false)),
         ("loop", ReconStrategy::hardware(false, true, false)),
@@ -426,7 +543,14 @@ pub fn figure17(scale: &Scale) -> Table {
         let b = run(&p, PipelineConfig::base(256), scale);
         let mut row = vec![w.name().to_owned()];
         for (_, recon) in combos {
-            let s = run(&p, PipelineConfig { recon, ..PipelineConfig::ci(256) }, scale);
+            let s = run(
+                &p,
+                PipelineConfig {
+                    recon,
+                    ..PipelineConfig::ci(256)
+                },
+                scale,
+            );
             row.push(pct(s.ipc() / b.ipc() - 1.0));
         }
         let sw = run(&p, PipelineConfig::ci(256), scale);
@@ -436,12 +560,51 @@ pub fn figure17(scale: &Scale) -> Table {
     t
 }
 
+/// Distribution summaries from the observability layer: restart-sequence
+/// length, distance to the reconvergent point, window occupancy and reissue
+/// counts, per workload (CI machine, window 256).
+///
+/// These go beyond the paper's averages — the per-event histograms expose
+/// the long tails that the means in Tables 2 and 4 hide.
+#[must_use]
+pub fn distributions(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "DISTRIBUTIONS. Restart, reconvergence, occupancy and reissue histograms (CI, window 256).",
+    );
+    t.headers(&["benchmark", "metric", "n", "mean", "p50", "p90", "max"]);
+    for w in Workload::ALL {
+        let p = program_for(w, scale);
+        let (_, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
+        let metrics: [(&str, &Histogram); 4] = [
+            ("restart length (cycles)", &probe.restart_length),
+            ("recon distance (instr)", &probe.recon_distance),
+            ("window occupancy", &probe.occupancy),
+            ("reissues per retired", &probe.reissues),
+        ];
+        for (name, h) in metrics {
+            t.row(vec![
+                w.name().to_owned(),
+                name.to_owned(),
+                h.count().to_string(),
+                f(h.mean(), 2),
+                h.quantile(0.5).to_string(),
+                h.quantile(0.9).to_string(),
+                h.max().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { instructions: 4_000, seed: 7 }
+        Scale {
+            instructions: 4_000,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -461,6 +624,24 @@ mod tests {
         let (ipc, imp) = figure5_6(&tiny(), &[64]);
         assert_eq!(ipc.len(), 5);
         assert_eq!(imp.len(), 5);
+    }
+
+    #[test]
+    fn table2_reports_restart_quantiles() {
+        let t = table2(&tiny());
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.header_cells().len(), 8);
+        let row = &t.data_rows()[0];
+        let p50: u64 = row[6].parse().expect("p50 is integral");
+        let p90: u64 = row[7].parse().expect("p90 is integral");
+        assert!(p90 >= p50);
+    }
+
+    #[test]
+    fn distributions_covers_all_workloads_and_metrics() {
+        let t = distributions(&tiny());
+        assert_eq!(t.len(), 5 * 4);
+        assert!(t.data_rows().iter().all(|r| r.len() == 7));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! - [`ci_workloads`]: the five SPEC95-analogue synthetic benchmarks.
 //! - [`ci_ideal`]: the six idealized machine models of Section 2.
 //! - [`ci_core`]: the detailed execution-driven CI superscalar simulator.
-//! - [`ci_report`]: text table rendering.
+//! - [`ci_obs`]: observability — pipeline event probes, metrics/histograms,
+//!   JSON-lines export, flight recorder, timeline.
+//! - [`ci_report`]: text table rendering (+ JSON-lines export).
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@ pub use ci_core;
 pub use ci_emu;
 pub use ci_ideal;
 pub use ci_isa;
+pub use ci_obs;
 pub use ci_report;
 pub use ci_workloads;
 
@@ -43,12 +46,18 @@ pub mod experiments;
 /// Convenient re-exports for typical use.
 pub mod prelude {
     pub use ci_core::{
-        simulate, CacheModel, CompletionModel, Pipeline, PipelineConfig, Preemption,
-        ReconStrategy, RedispatchMode, RepredictMode, SquashMode, Stats,
+        simulate, simulate_probed, CacheModel, CompletionModel, Pipeline, PipelineConfig,
+        Preemption, ReconStrategy, RedispatchMode, RepredictMode, SquashMode, Stats,
     };
     pub use ci_emu::{run_trace, Emulator, Trace};
-    pub use ci_ideal::{simulate as simulate_ideal, IdealConfig, IdealResult, ModelKind, StudyInput};
+    pub use ci_ideal::{
+        simulate as simulate_ideal, IdealConfig, IdealResult, ModelKind, StudyInput,
+    };
     pub use ci_isa::{Addr, Asm, Inst, InstClass, Pc, Program, Reg};
+    pub use ci_obs::{
+        Event, EventKind, FlightRecorder, Histogram, MetricsProbe, NoopProbe, Probe, Registry,
+        TimelineProbe,
+    };
     pub use ci_report::Table;
     pub use ci_workloads::{random_program, Workload, WorkloadParams};
 }

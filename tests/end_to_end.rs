@@ -7,7 +7,10 @@ use control_independence::prelude::*;
 const INSTS: u64 = 25_000;
 
 fn program(w: Workload) -> Program {
-    w.build(&WorkloadParams { scale: w.scale_for(INSTS), seed: 0x5EED })
+    w.build(&WorkloadParams {
+        scale: w.scale_for(INSTS),
+        seed: 0x5EED,
+    })
 }
 
 #[test]
@@ -20,7 +23,11 @@ fn detailed_simulator_is_bounded_by_ideal_models() {
         let input = StudyInput::build(&p, INSTS).unwrap();
         let oracle = simulate_ideal(
             &input,
-            &IdealConfig { model: ModelKind::Oracle, window: 256, ..IdealConfig::default() },
+            &IdealConfig {
+                model: ModelKind::Oracle,
+                window: 256,
+                ..IdealConfig::default()
+            },
         );
         let ci = simulate(&p, PipelineConfig::ci(256), INSTS).unwrap();
         assert!(
@@ -56,7 +63,10 @@ fn workload_misprediction_rates_near_paper_targets() {
         (Workload::VortexLike, 0.002, 0.05),
     ];
     for (w, lo, hi) in bands {
-        let p = w.build(&WorkloadParams { scale: w.scale_for(120_000), seed: 0x5EED });
+        let p = w.build(&WorkloadParams {
+            scale: w.scale_for(120_000),
+            seed: 0x5EED,
+        });
         let input = StudyInput::build(&p, 120_000).unwrap();
         let r = input.misprediction_rate();
         assert!(
@@ -79,8 +89,16 @@ fn control_independence_helps_where_the_paper_says() {
         improvements.push((w, c.ipc() / b.ipc() - 1.0));
     }
     let get = |w: Workload| improvements.iter().find(|(x, _)| *x == w).unwrap().1;
-    assert!(get(Workload::GoLike) > 0.10, "go: {:+.1}%", 100.0 * get(Workload::GoLike));
-    assert!(get(Workload::GccLike) > 0.05, "gcc: {:+.1}%", 100.0 * get(Workload::GccLike));
+    assert!(
+        get(Workload::GoLike) > 0.10,
+        "go: {:+.1}%",
+        100.0 * get(Workload::GoLike)
+    );
+    assert!(
+        get(Workload::GccLike) > 0.05,
+        "gcc: {:+.1}%",
+        100.0 * get(Workload::GccLike)
+    );
     assert!(
         get(Workload::VortexLike) < get(Workload::GoLike),
         "vortex should benefit least"
@@ -96,8 +114,15 @@ fn ideal_model_ordering_holds_on_workloads() {
         let p = program(w);
         let input = StudyInput::build(&p, INSTS).unwrap();
         let ipc = |m| {
-            simulate_ideal(&input, &IdealConfig { model: m, window: 256, ..IdealConfig::default() })
-                .ipc()
+            simulate_ideal(
+                &input,
+                &IdealConfig {
+                    model: m,
+                    window: 256,
+                    ..IdealConfig::default()
+                },
+            )
+            .ipc()
         };
         let oracle = ipc(ModelKind::Oracle);
         let nwr_nfd = ipc(ModelKind::NwrNfd);
@@ -114,11 +139,21 @@ fn compress_is_the_false_dependence_outlier() {
     // The paper's compress collapses under nWR-FD; ours must show the same
     // signature: FD costs compress more than WR does.
     let w = Workload::CompressLike;
-    let p = w.build(&WorkloadParams { scale: w.scale_for(60_000), seed: 0x5EED });
+    let p = w.build(&WorkloadParams {
+        scale: w.scale_for(60_000),
+        seed: 0x5EED,
+    });
     let input = StudyInput::build(&p, 60_000).unwrap();
     let ipc = |m| {
-        simulate_ideal(&input, &IdealConfig { model: m, window: 256, ..IdealConfig::default() })
-            .ipc()
+        simulate_ideal(
+            &input,
+            &IdealConfig {
+                model: m,
+                window: 256,
+                ..IdealConfig::default()
+            },
+        )
+        .ipc()
     };
     let fd_drop = ipc(ModelKind::NwrNfd) - ipc(ModelKind::NwrFd);
     let wr_drop = ipc(ModelKind::NwrNfd) - ipc(ModelKind::WrNfd);
@@ -126,13 +161,19 @@ fn compress_is_the_false_dependence_outlier() {
         fd_drop > wr_drop,
         "compress: FD drop {fd_drop:.2} should exceed WR drop {wr_drop:.2}"
     );
-    assert!(fd_drop > 0.2, "compress FD drop should be material: {fd_drop:.2}");
+    assert!(
+        fd_drop > 0.2,
+        "compress FD drop should be material: {fd_drop:.2}"
+    );
 }
 
 #[test]
 fn experiment_tables_have_expected_shape() {
     use control_independence::experiments::{self, Scale};
-    let scale = Scale { instructions: 6_000, seed: 0x5EED };
+    let scale = Scale {
+        instructions: 6_000,
+        seed: 0x5EED,
+    };
     assert_eq!(experiments::table2(&scale).len(), 5);
     assert_eq!(experiments::table3(&scale).len(), 5);
     assert_eq!(experiments::table4(&scale).len(), 5);
