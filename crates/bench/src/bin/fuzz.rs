@@ -1,0 +1,164 @@
+//! Differential co-simulation fuzzing driver.
+//!
+//! Runs randomized programs and pipeline configurations in lockstep against
+//! the functional emulator, checking bit-exact retirement and the
+//! cross-model dominance invariants; failures are shrunk to minimal
+//! reproducers and written as replayable JSON artifacts.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N | --time-budget SECS] [--workers N]
+//!      [--artifact-dir DIR] [--shrink-budget N]
+//! fuzz --replay ARTIFACT.json
+//! ```
+//!
+//! Exit status is 0 when every trial passed, 1 when any failed, 2 on usage
+//! errors.
+
+use ci_difftest::{replay, run_fuzz, Artifact, FuzzOptions};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Cli {
+    opts: FuzzOptions,
+    replay: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--iters N | --time-budget SECS] [--workers N]\n\
+         \x20           [--artifact-dir DIR] [--shrink-budget N]\n\
+         \x20      fuzz --replay ARTIFACT.json"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
+    let mut opts = FuzzOptions {
+        artifact_dir: Some(PathBuf::from("fuzz-artifacts")),
+        ..FuzzOptions::default()
+    };
+    let mut replay = None;
+    let mut iters_given = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage();
+            })
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                opts.seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --seed {v:?}");
+                        usage();
+                    });
+            }
+            "--iters" => {
+                opts.iters = Some(value("--iters").parse().unwrap_or_else(|_| usage()));
+                iters_given = true;
+            }
+            "--time-budget" => {
+                let secs: u64 = value("--time-budget").parse().unwrap_or_else(|_| usage());
+                opts.time_budget = Some(Duration::from_secs(secs));
+                if !iters_given {
+                    opts.iters = None;
+                }
+            }
+            "--workers" => {
+                opts.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--artifact-dir" => opts.artifact_dir = Some(PathBuf::from(value("--artifact-dir"))),
+            "--shrink-budget" => {
+                opts.shrink_budget = value("--shrink-budget").parse().unwrap_or_else(|_| usage());
+            }
+            "--replay" => replay = Some(PathBuf::from(value("--replay"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    Cli { opts, replay }
+}
+
+fn replay_artifact(path: &PathBuf) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let artifact = match Artifact::parse(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return 2;
+        }
+    };
+    println!(
+        "replaying trial {:#018x} ({} instructions)",
+        artifact.trial_seed,
+        artifact.program.emit().len()
+    );
+    let outcome = replay(&artifact);
+    if outcome.failures.is_empty() {
+        println!("replay passed: no failures reproduced");
+        return 0;
+    }
+    for f in &outcome.failures {
+        println!("== {} [{}] ==", f.kind.name(), f.model);
+        println!("{}", f.detail);
+        if !f.flight.is_empty() {
+            println!("{}", f.flight);
+        }
+    }
+    println!("{} failure(s) reproduced", outcome.failures.len());
+    1
+}
+
+fn main() {
+    let cli = parse_args();
+    if let Some(path) = &cli.replay {
+        std::process::exit(replay_artifact(path));
+    }
+
+    let summary = run_fuzz(&cli.opts);
+    println!(
+        "fuzz: {} trials in {:.1?}, {} failed (seed {:#x}, {} workers)",
+        summary.trials, summary.elapsed, summary.failed, cli.opts.seed, cli.opts.workers
+    );
+    for (artifact, path) in summary.artifacts.iter().zip(
+        summary
+            .written
+            .iter()
+            .map(Some)
+            .chain(std::iter::repeat(None)),
+    ) {
+        let kinds: Vec<&str> = artifact.failures.iter().map(|f| f.kind.name()).collect();
+        print!(
+            "  trial {:#018x}: {} ({} nodes -> {})",
+            artifact.trial_seed,
+            kinds.join(", "),
+            artifact.shrink.original_nodes,
+            artifact.shrink.final_nodes
+        );
+        match path {
+            Some(p) => println!("  [{}]", p.display()),
+            None => println!(),
+        }
+    }
+    if summary.failed > summary.artifacts.len() as u64 {
+        println!(
+            "  (+{} further failing trials not shrunk)",
+            summary.failed - summary.artifacts.len() as u64
+        );
+    }
+    std::process::exit(i32::from(!summary.clean()));
+}

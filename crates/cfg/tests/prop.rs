@@ -6,6 +6,32 @@ use ci_isa::Pc;
 use ci_workloads::random_program;
 use proptest::prelude::*;
 
+/// Whether any path from `from` reaches the exit pseudo-block without
+/// passing through `avoid` (brute-force reachability over block successors).
+fn reaches_exit_avoiding(g: &Cfg, from: ci_cfg::BlockId, avoid: Option<ci_cfg::BlockId>) -> bool {
+    if Some(from) == avoid {
+        return false;
+    }
+    let mut seen = vec![false; g.len() + 1];
+    let mut stack = vec![from];
+    while let Some(b) = stack.pop() {
+        if b == g.exit() {
+            return true;
+        }
+        let idx = b.0 as usize;
+        if seen[idx] {
+            continue;
+        }
+        seen[idx] = true;
+        for &s in &g.block(b).expect("non-exit block").succs {
+            if Some(s) != avoid {
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
 proptest! {
     #[test]
     fn blocks_partition_the_program(seed in 0u64..500, size in 8usize..150) {
@@ -64,6 +90,50 @@ proptest! {
             if let Some(ip) = pd.ipdom(b) {
                 prop_assert!(pd.post_dominates(ip, b), "ipdom(b{i}) must post-dominate b{i}");
                 prop_assert_ne!(ip, b, "ipdom is strict");
+            }
+        }
+    }
+
+    #[test]
+    fn ipdom_matches_brute_force(seed in 0u64..300, size in 8usize..120) {
+        // Independent oracle for the iterative dataflow solver: A strictly
+        // post-dominates B iff removing A disconnects B from exit. The
+        // *immediate* post-dominator is the member of that set every other
+        // member post-dominates (the nearest one).
+        let p = random_program(seed, size);
+        let g = Cfg::build(&p);
+        let pd = PostDominators::compute(&g);
+        for i in 0..g.len() {
+            let b = ci_cfg::BlockId(i as u32);
+            if !reaches_exit_avoiding(&g, b, None) {
+                // Exit-unreachable blocks have no meaningful post-dominators.
+                continue;
+            }
+            let mut strict: Vec<ci_cfg::BlockId> = (0..g.len())
+                .map(|j| ci_cfg::BlockId(j as u32))
+                .filter(|&a| a != b && !reaches_exit_avoiding(&g, b, Some(a)))
+                .collect();
+            strict.push(g.exit());
+            match pd.ipdom(b) {
+                None => prop_assert!(
+                    strict.len() == 1 && strict[0] == g.exit() && b != g.exit()
+                        || b == g.exit(),
+                    "b{i}: ipdom None but strict pdoms {strict:?}"
+                ),
+                Some(ip) => {
+                    prop_assert!(strict.contains(&ip), "b{i}: ipdom b{} not a pdom", ip.0);
+                    for &a in &strict {
+                        // Every other strict post-dominator of b also
+                        // post-dominates ip — ip is the nearest.
+                        prop_assert!(
+                            a == ip
+                                || a == g.exit()
+                                || ip == g.exit()
+                                || !reaches_exit_avoiding(&g, ip, Some(a)),
+                            "b{i}: b{} is a nearer pdom than ipdom b{}", a.0, ip.0
+                        );
+                    }
+                }
             }
         }
     }

@@ -383,6 +383,18 @@ impl<'p, P: Probe> Pipeline<'p, P> {
         chk!("service");
         self.redispatch_step();
         chk!("redispatch");
+        // Suspended restarts are normally resumed by the preempting
+        // recovery's completing redispatch — but a recovery that ends in a
+        // complete squash (no reconvergent point in the window) never starts
+        // one. With the sequencer idle and no recovery pending, nothing else
+        // would ever resume the suspension, and its cursor would block
+        // retirement forever.
+        if matches!(self.seq, Sequencer::Normal)
+            && self.pending.is_empty()
+            && !self.suspended.is_empty()
+        {
+            self.resume_suspended();
+        }
         self.retire_stage();
         chk!("retire");
         // If the window fully drained while fetch was stalled on a dead-end

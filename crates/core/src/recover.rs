@@ -50,8 +50,16 @@ impl<P: Probe> Pipeline<'_, P> {
             let mismatch = match succ {
                 Some(s) => s != exec_next,
                 None => {
-                    // Tail instruction: compare against the front end.
-                    matches!(self.seq, Sequencer::Normal) && self.fetch.pc != exec_next
+                    // Tail instruction: compare against the front end. While
+                    // a restart or redispatch owns the front end, fetch.pc is
+                    // not this instruction's successor — defer judgment
+                    // rather than settling it against the wrong comparand (a
+                    // branch wrongly marked resolved would never be
+                    // re-examined and could block retirement forever).
+                    if !matches!(self.seq, Sequencer::Normal) {
+                        continue;
+                    }
+                    self.fetch.pc != exec_next
                 }
             };
             if !mismatch {
@@ -233,6 +241,21 @@ impl<P: Probe> Pipeline<'_, P> {
                 self.squash_between(rs.branch, rs.recon);
             }
             self.unresolve(rs.branch);
+        }
+        // A stale suspension's interval may have contained the active
+        // restart's branch or fill. A restart whose insertion context died
+        // cannot continue: drop its never-to-be-redispatched reconvergent
+        // region and fall back to tail fetch.
+        if let Sequencer::Restart(rs) = &self.seq {
+            if !self.rob.alive(rs.branch) || !self.rob.alive(rs.cursor) {
+                let rs = rs.clone();
+                self.seq = Sequencer::Normal;
+                if self.rob.alive(rs.recon) {
+                    self.squash_suffix_from(rs.recon);
+                }
+                self.unresolve(rs.branch);
+                self.resume_tail_fetch();
+            }
         }
     }
 
@@ -569,6 +592,23 @@ impl<P: Probe> Pipeline<'_, P> {
     /// any region they left half-repaired.
     pub(crate) fn resume_suspended(&mut self) {
         while let Some(mut rs) = self.suspended.pop() {
+            // During a fill the cursor's successor is always the reconvergent
+            // entry (insertions go between the two), and nothing but another
+            // recovery can insert there while the restart is suspended. If
+            // something did, that recovery — for a branch inside this fill —
+            // took over the gap and (re)filled the path itself; resuming would
+            // re-fetch the same instructions after the cursor and duplicate
+            // them. The takeover's fill is the valid path, so drop the
+            // suspension without squashing anything.
+            if self.rob.alive(rs.branch)
+                && self.rob.alive(rs.cursor)
+                && self.rob.alive(rs.recon)
+                && self.rob.next(rs.cursor) != Some(rs.recon)
+            {
+                self.unresolve(rs.branch);
+                self.rob.get_mut(rs.cursor).resolved = false;
+                continue;
+            }
             if self.rob.alive(rs.branch) && self.rob.alive(rs.cursor) && self.rob.alive(rs.recon) {
                 // The preempting recovery's redispatch may have remapped the
                 // window; rebuild the fill map from current state rather than
@@ -586,15 +626,39 @@ impl<P: Probe> Pipeline<'_, P> {
                 self.seq = Sequencer::Restart(rs);
                 return;
             }
-            // Discarded: remove anything its unfinished gap made
-            // inconsistent and force its branch to re-resolve.
+            // Some component died while suspended; the suspension cannot be
+            // resumed. The squash that killed it was contiguous, so what
+            // matters is the boundary left in front of the surviving
+            // reconvergent region. If that predecessor is a control
+            // instruction, the discontinuity is rooted there and the normal
+            // detect→recover path repairs it — the region itself can sit on
+            // the repaired correct path by now and must not be squashed. If
+            // it is a non-control instruction whose fall-through does not
+            // reach the region, the hole is unrepairable (misprediction
+            // detection never fires on a non-control boundary), so the stale
+            // suffix has to go before it wedges retirement forever.
             if self.rob.alive(rs.recon) {
-                self.squash_suffix_from(rs.recon);
+                let stale = match self.rob.prev(rs.recon) {
+                    Some(p) => {
+                        let pe = self.rob.get(p);
+                        if pe.class.is_control() {
+                            self.rob.get_mut(p).resolved = false;
+                            false
+                        } else {
+                            pe.pc.next() != self.rob.get(rs.recon).pc
+                        }
+                    }
+                    None => false,
+                };
+                if stale {
+                    self.squash_suffix_from(rs.recon);
+                }
             }
             self.unresolve(rs.branch);
             if self.rob.alive(rs.cursor) {
                 self.rob.get_mut(rs.cursor).resolved = false;
             }
+            self.resume_tail_fetch();
         }
     }
 

@@ -1,0 +1,236 @@
+//! The fuzzing loop: a deterministic trial stream drained by a worker pool.
+//!
+//! Trial `i` of a campaign with seed `s` always runs the spec derived from
+//! `mix(s, i)` — a pure function — so a campaign's findings are independent
+//! of worker count and thread scheduling: `--workers 8` and `--workers 1`
+//! explore exactly the same trials, just in a different order.
+
+use crate::artifact::Artifact;
+use crate::shrink::shrink;
+use crate::spec::TrialSpec;
+use crate::trial::{check_program, run_trial};
+use ci_workloads::random_structured;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Campaign seed; trial `i` uses spec seed `mix(seed, i)`.
+    pub seed: u64,
+    /// Number of trials; `None` means run until the time budget expires.
+    pub iters: Option<u64>,
+    /// Wall-clock budget; workers stop picking up new trials once elapsed.
+    pub time_budget: Option<Duration>,
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Where to write failure artifacts; `None` keeps them in memory only.
+    pub artifact_dir: Option<PathBuf>,
+    /// Cap on artifacts written/retained (further failures are only counted).
+    pub max_artifacts: usize,
+    /// Predicate evaluations the shrinker may spend per failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            iters: Some(100),
+            time_budget: None,
+            workers: 1,
+            artifact_dir: None,
+            max_artifacts: 5,
+            shrink_budget: 400,
+        }
+    }
+}
+
+/// What a campaign found.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Trials completed.
+    pub trials: u64,
+    /// Trials with at least one failed check.
+    pub failed: u64,
+    /// Shrunk artifacts for the first [`FuzzOptions::max_artifacts`]
+    /// failures, in trial order.
+    pub artifacts: Vec<Artifact>,
+    /// Paths written when [`FuzzOptions::artifact_dir`] was set.
+    pub written: Vec<PathBuf>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl FuzzSummary {
+    /// Whether every trial passed every check.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+/// Mix a campaign seed and trial index into a trial seed (splitmix-style
+/// golden-ratio spread keeps neighbouring indices decorrelated).
+#[must_use]
+pub fn trial_seed(campaign_seed: u64, index: u64) -> u64 {
+    campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Install a process-wide panic hook that suppresses the default stderr
+/// report. The harness converts pipeline panics (oracle-checker divergences)
+/// into findings via `catch_unwind`; without this, every caught panic would
+/// still spray a backtrace banner. Idempotent.
+pub fn silence_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::panic::set_hook(Box::new(|_| {}));
+    });
+}
+
+struct Shared {
+    next: AtomicU64,
+    done: AtomicU64,
+    failed: AtomicU64,
+    stop: AtomicBool,
+    findings: Mutex<Vec<(u64, Artifact)>>,
+}
+
+/// Run a fuzzing campaign. Deterministic for fixed `seed` + `iters`
+/// (time-budget campaigns stop at a scheduling-dependent trial count, but
+/// every trial they do run is still individually reproducible from its
+/// index).
+#[must_use]
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzSummary {
+    silence_panics();
+    let start = Instant::now();
+    let iters = match (opts.iters, opts.time_budget) {
+        (Some(n), _) => n,
+        (None, Some(_)) => u64::MAX,
+        (None, None) => 100,
+    };
+    let shared = Shared {
+        next: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        findings: Mutex::new(Vec::new()),
+    };
+    let workers = opts.workers.max(1);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker(opts, iters, start, &shared));
+        }
+    });
+
+    let mut findings = shared.findings.into_inner().expect("no worker panics");
+    findings.sort_by_key(|(idx, _)| *idx);
+    findings.truncate(opts.max_artifacts);
+
+    let mut summary = FuzzSummary {
+        trials: shared.done.into_inner(),
+        failed: shared.failed.into_inner(),
+        artifacts: findings.into_iter().map(|(_, a)| a).collect(),
+        written: Vec::new(),
+        elapsed: start.elapsed(),
+    };
+    if let Some(dir) = &opts.artifact_dir {
+        let _ = std::fs::create_dir_all(dir);
+        for artifact in &summary.artifacts {
+            let path = dir.join(format!("fuzz-{:016x}.json", artifact.trial_seed));
+            if std::fs::write(&path, artifact.render()).is_ok() {
+                summary.written.push(path);
+            }
+        }
+    }
+    summary
+}
+
+fn worker(opts: &FuzzOptions, iters: u64, start: Instant, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() >= budget {
+                return;
+            }
+        }
+        let idx = shared.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= iters {
+            return;
+        }
+        let tseed = trial_seed(opts.seed, idx);
+        let spec = TrialSpec::generate(tseed);
+        let outcome = run_trial(&spec);
+        shared.done.fetch_add(1, Ordering::Relaxed);
+        if outcome.passed() {
+            continue;
+        }
+        let nth = shared.failed.fetch_add(1, Ordering::Relaxed);
+        if nth as usize >= opts.max_artifacts {
+            continue; // counted, but not worth another shrink campaign
+        }
+        let original = random_structured(spec.program_seed, spec.size_hint);
+        let (min, stats) = shrink(&original, opts.shrink_budget, |candidate| {
+            !check_program(&candidate.emit(), &spec).1.is_empty()
+        });
+        let (_, failures) = check_program(&min.emit(), &spec);
+        let artifact = Artifact {
+            trial_seed: tseed,
+            program: min,
+            shrink: stats,
+            failures,
+        };
+        shared
+            .findings
+            .lock()
+            .expect("no worker panics")
+            .push((idx, artifact));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_clean_campaign() {
+        let summary = run_fuzz(&FuzzOptions {
+            seed: 1,
+            iters: Some(8),
+            workers: 2,
+            ..FuzzOptions::default()
+        });
+        assert_eq!(summary.trials, 8);
+        assert!(summary.clean(), "{:?}", summary.artifacts);
+        assert!(summary.artifacts.is_empty());
+    }
+
+    #[test]
+    fn trial_seeds_are_spread() {
+        let a = trial_seed(42, 0);
+        let b = trial_seed(42, 1);
+        let c = trial_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Same coordinates, same seed: worker-count independence rests here.
+        assert_eq!(trial_seed(42, 1), b);
+    }
+
+    #[test]
+    fn time_budget_campaigns_terminate() {
+        let summary = run_fuzz(&FuzzOptions {
+            seed: 2,
+            iters: None,
+            time_budget: Some(Duration::from_millis(300)),
+            workers: 2,
+            ..FuzzOptions::default()
+        });
+        assert!(summary.trials >= 1);
+        assert!(summary.clean(), "{:?}", summary.artifacts);
+    }
+}

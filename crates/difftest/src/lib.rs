@@ -1,0 +1,50 @@
+//! Differential co-simulation fuzzing for the control-independence suite.
+//!
+//! The detailed execution-driven pipeline (`ci-core`) must retire the exact
+//! dynamic instruction stream the functional emulator (`ci-emu`) produces —
+//! across every recovery strategy, window size, cache model and predictor
+//! configuration, and through every restart/redispatch corner case. This
+//! crate is the machine that hunts violations:
+//!
+//! 1. **Generate** — a random structured program
+//!    ([`ci_workloads::random_structured`]) and a random [`TrialSpec`]
+//!    sweeping [`ci_core::PipelineConfig`] (window/width/segment, all
+//!    reconvergence strategies, completion models, repredict modes, cache
+//!    models, predictor sizes).
+//! 2. **Lockstep** — run the detailed pipeline (BASE, CI and CI-I variants)
+//!    with the oracle checker armed and a [`ci_obs::FlightRecorder`]
+//!    attached; independently compare the retired PC stream against the
+//!    emulator trace, and the six idealized models of Section 2 against
+//!    their paper-mandated dominance relations.
+//! 3. **Check invariants** — bit-exact retirement, `retired == emulated`,
+//!    counter sanity, and the cross-model cycle orderings
+//!    (oracle fastest, base slowest among CI models, `FD` never beats
+//!    `nFD`, wasted resources never help).
+//! 4. **Shrink** — on failure, delete-block and halve-iteration passes over
+//!    the structured program, re-running the failing check after each edit,
+//!    until a minimal reproducer remains ([`shrink`]).
+//! 5. **Report** — a self-contained JSON [`Artifact`]: the shrunk program
+//!    (re-emittable statement tree *and* assembled listing), the full
+//!    configuration, the divergence report and the flight-recorder
+//!    transcript. [`replay`] re-runs an artifact deterministically.
+//!
+//! The `ci-bench` binary `fuzz` drives [`run_fuzz`] from the command line
+//! with a `std::thread` worker pool (one seeded RNG stream per trial, so
+//! results are independent of worker count and scheduling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod fuzz;
+mod lockstep;
+mod shrink;
+mod spec;
+mod trial;
+
+pub use artifact::{replay, Artifact};
+pub use fuzz::{run_fuzz, silence_panics, trial_seed, FuzzOptions, FuzzSummary};
+pub use lockstep::{run_locked, LockstepRun};
+pub use shrink::{shrink, ShrinkStats};
+pub use spec::TrialSpec;
+pub use trial::{check_program, run_trial, Failure, FailureKind, TrialOutcome};

@@ -1,0 +1,416 @@
+//! Automatic test-case reduction over [`StructuredProgram`] trees.
+//!
+//! Greedy delta debugging: propose one structural edit at a time (delete a
+//! chunk of statements, drop an else arm, inline a diamond or loop body,
+//! halve a loop's trip count, drop a register seed), keep the edit if the
+//! failure predicate still fires on the re-emitted program, restart the pass
+//! after every accepted edit. Because labels and branch targets are
+//! regenerated on every [`StructuredProgram::emit`], no edit can produce an
+//! unassemblable program — every candidate is a valid, terminating program.
+
+use ci_workloads::{Stmt, StructuredProgram};
+
+/// What the shrinker did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Statement nodes in the original failing program.
+    pub original_nodes: usize,
+    /// Statement nodes in the reduced program.
+    pub final_nodes: usize,
+    /// Predicate evaluations spent.
+    pub tests: usize,
+    /// Edits that preserved the failure and were kept.
+    pub accepted: usize,
+}
+
+/// Which statement list an edit targets.
+#[derive(Clone, Copy, Debug)]
+enum Root {
+    Body,
+    Func(usize),
+}
+
+/// One descent step from a statement list into a nested list.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Into the then-arm of the `If` at this index.
+    Then(usize),
+    /// Into the else-arm of the `If` at this index.
+    Els(usize),
+    /// Into the body of the `Loop` at this index.
+    Body(usize),
+}
+
+/// Address of one statement list inside a program.
+#[derive(Clone, Debug)]
+struct ListPath {
+    root: Root,
+    steps: Vec<Step>,
+}
+
+/// One candidate reduction.
+#[derive(Clone, Debug)]
+enum Edit {
+    /// Remove `list[start..start + len]`.
+    DeleteRange {
+        at: ListPath,
+        start: usize,
+        len: usize,
+    },
+    /// Replace the `If` at `list[idx]` with its then-arm statements.
+    InlineThen { at: ListPath, idx: usize },
+    /// Drop the else arm of the `If` at `list[idx]` (keep the branch).
+    DropEls { at: ListPath, idx: usize },
+    /// Replace the `Loop` at `list[idx]` with one copy of its body.
+    InlineLoop { at: ListPath, idx: usize },
+    /// Halve the trip count of the `Loop` at `list[idx]`.
+    HalveTrips { at: ListPath, idx: usize },
+    /// Remove register seed `init[idx]`.
+    DeleteInit { idx: usize },
+}
+
+fn list<'p>(p: &'p StructuredProgram, path: &ListPath) -> Option<&'p Vec<Stmt>> {
+    let mut cur = match path.root {
+        Root::Body => &p.body,
+        Root::Func(i) => p.funcs.get(i)?,
+    };
+    for step in &path.steps {
+        cur = match (step, cur.get(step_idx(*step))?) {
+            (Step::Then(_), Stmt::If { then, .. }) => then,
+            (Step::Els(_), Stmt::If { els: Some(e), .. }) => e,
+            (Step::Body(_), Stmt::Loop { body, .. }) => body,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+fn list_mut<'p>(p: &'p mut StructuredProgram, path: &ListPath) -> Option<&'p mut Vec<Stmt>> {
+    let mut cur = match path.root {
+        Root::Body => &mut p.body,
+        Root::Func(i) => p.funcs.get_mut(i)?,
+    };
+    for step in &path.steps {
+        cur = match (step, cur.get_mut(step_idx(*step))?) {
+            (Step::Then(_), Stmt::If { then, .. }) => then,
+            (Step::Els(_), Stmt::If { els: Some(e), .. }) => e,
+            (Step::Body(_), Stmt::Loop { body, .. }) => body,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+fn step_idx(s: Step) -> usize {
+    match s {
+        Step::Then(i) | Step::Els(i) | Step::Body(i) => i,
+    }
+}
+
+/// Every statement list in the program, outermost first.
+fn collect_paths(p: &StructuredProgram) -> Vec<ListPath> {
+    fn descend(stmts: &[Stmt], here: &ListPath, out: &mut Vec<ListPath>) {
+        out.push(here.clone());
+        for (i, s) in stmts.iter().enumerate() {
+            match s {
+                Stmt::If { then, els, .. } => {
+                    let mut t = here.clone();
+                    t.steps.push(Step::Then(i));
+                    descend(then, &t, out);
+                    if let Some(els) = els {
+                        let mut e = here.clone();
+                        e.steps.push(Step::Els(i));
+                        descend(els, &e, out);
+                    }
+                }
+                Stmt::Loop { body, .. } => {
+                    let mut b = here.clone();
+                    b.steps.push(Step::Body(i));
+                    descend(body, &b, out);
+                }
+                Stmt::Op(_) | Stmt::Call(_) => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    descend(
+        &p.body,
+        &ListPath {
+            root: Root::Body,
+            steps: Vec::new(),
+        },
+        &mut out,
+    );
+    for (i, f) in p.funcs.iter().enumerate() {
+        descend(
+            f,
+            &ListPath {
+                root: Root::Func(i),
+                steps: Vec::new(),
+            },
+            &mut out,
+        );
+    }
+    out
+}
+
+/// All candidate edits for the current program, most aggressive first:
+/// whole-list and large-chunk deletions before single statements, structure
+/// collapses, then trip halvings and init pruning.
+fn candidates(p: &StructuredProgram) -> Vec<Edit> {
+    let mut out = Vec::new();
+    let paths = collect_paths(p);
+
+    // Chunk deletions: per list, sizes n, n/2, …, 1 at every aligned offset.
+    for path in &paths {
+        let n = list(p, path).map_or(0, Vec::len);
+        let mut size = n;
+        while size >= 1 {
+            let mut start = 0;
+            while start < n {
+                out.push(Edit::DeleteRange {
+                    at: path.clone(),
+                    start,
+                    len: size.min(n - start),
+                });
+                start += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+    }
+
+    // Structural collapses and loop weakenings.
+    for path in &paths {
+        let Some(stmts) = list(p, path) else { continue };
+        for (idx, s) in stmts.iter().enumerate() {
+            match s {
+                Stmt::If { els, .. } => {
+                    out.push(Edit::InlineThen {
+                        at: path.clone(),
+                        idx,
+                    });
+                    if els.is_some() {
+                        out.push(Edit::DropEls {
+                            at: path.clone(),
+                            idx,
+                        });
+                    }
+                }
+                Stmt::Loop { trips, .. } => {
+                    out.push(Edit::InlineLoop {
+                        at: path.clone(),
+                        idx,
+                    });
+                    if *trips > 1 {
+                        out.push(Edit::HalveTrips {
+                            at: path.clone(),
+                            idx,
+                        });
+                    }
+                }
+                Stmt::Op(_) | Stmt::Call(_) => {}
+            }
+        }
+    }
+
+    for idx in 0..p.init.len() {
+        out.push(Edit::DeleteInit { idx });
+    }
+    out
+}
+
+/// Apply one edit, returning the edited program (`None` when the edit no
+/// longer applies — paths are recomputed every round, so this only guards
+/// internal races).
+fn apply(p: &StructuredProgram, edit: &Edit) -> Option<StructuredProgram> {
+    let mut out = p.clone();
+    match edit {
+        Edit::DeleteRange { at, start, len } => {
+            let l = list_mut(&mut out, at)?;
+            if *start + *len > l.len() || *len == 0 {
+                return None;
+            }
+            l.drain(*start..*start + *len);
+        }
+        Edit::InlineThen { at, idx } => {
+            let l = list_mut(&mut out, at)?;
+            let Stmt::If { then, .. } = l.get(*idx)? else {
+                return None;
+            };
+            let then = then.clone();
+            l.splice(*idx..=*idx, then);
+        }
+        Edit::DropEls { at, idx } => {
+            let l = list_mut(&mut out, at)?;
+            let Stmt::If { els, .. } = l.get_mut(*idx)? else {
+                return None;
+            };
+            els.take()?;
+        }
+        Edit::InlineLoop { at, idx } => {
+            let l = list_mut(&mut out, at)?;
+            let Stmt::Loop { body, .. } = l.get(*idx)? else {
+                return None;
+            };
+            let body = body.clone();
+            l.splice(*idx..=*idx, body);
+        }
+        Edit::HalveTrips { at, idx } => {
+            let l = list_mut(&mut out, at)?;
+            let Stmt::Loop { trips, .. } = l.get_mut(*idx)? else {
+                return None;
+            };
+            if *trips <= 1 {
+                return None;
+            }
+            *trips /= 2;
+        }
+        Edit::DeleteInit { idx } => {
+            if *idx >= out.init.len() {
+                return None;
+            }
+            out.init.remove(*idx);
+        }
+    }
+    // Empty functions are fine (emit handles them), but drop trailing ones so
+    // the reduced artifact is as small as it looks.
+    while out.funcs.last().is_some_and(Vec::is_empty) {
+        out.funcs.pop();
+    }
+    Some(out)
+}
+
+/// Reduce `start` to a (locally) minimal program on which `fails` still
+/// returns `true`. `fails(start)` is assumed true; `budget` caps predicate
+/// evaluations (each one typically re-runs the whole lockstep check).
+pub fn shrink<F>(
+    start: &StructuredProgram,
+    budget: usize,
+    mut fails: F,
+) -> (StructuredProgram, ShrinkStats)
+where
+    F: FnMut(&StructuredProgram) -> bool,
+{
+    let mut stats = ShrinkStats {
+        original_nodes: start.node_count(),
+        ..ShrinkStats::default()
+    };
+    let mut cur = start.clone();
+    'outer: loop {
+        for edit in candidates(&cur) {
+            if stats.tests >= budget {
+                break 'outer;
+            }
+            let Some(next) = apply(&cur, &edit) else {
+                continue;
+            };
+            // Only consider genuinely smaller programs (trip halving keeps
+            // node count but reduces dynamic length; allow it too).
+            let smaller = next.node_count() < cur.node_count()
+                || next.init.len() < cur.init.len()
+                || matches!(edit, Edit::HalveTrips { .. });
+            if !smaller {
+                continue;
+            }
+            stats.tests += 1;
+            if fails(&next) {
+                stats.accepted += 1;
+                cur = next;
+                continue 'outer; // paths changed; restart the pass
+            }
+        }
+        break; // full pass with no accepted edit: local minimum
+    }
+    stats.final_nodes = cur.node_count();
+    (cur, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_isa::Reg;
+    use ci_workloads::{random_structured, SimpleOp};
+
+    fn has_mul(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Op(SimpleOp::Mul(..)) => true,
+            Stmt::Op(_) | Stmt::Call(_) => false,
+            Stmt::If { then, els, .. } => has_mul(then) || els.as_ref().is_some_and(|e| has_mul(e)),
+            Stmt::Loop { body, .. } => has_mul(body),
+        })
+    }
+
+    fn program_has_mul(p: &StructuredProgram) -> bool {
+        has_mul(&p.body) || p.funcs.iter().any(|f| has_mul(f))
+    }
+
+    #[test]
+    fn shrinks_to_the_predicate_kernel() {
+        // Find a seed whose program contains a multiply, then shrink with
+        // "contains a multiply" as the failure — the reduced program should
+        // be almost nothing but that multiply.
+        let mut tried = 0;
+        for seed in 0.. {
+            let sp = random_structured(seed, 120);
+            if !program_has_mul(&sp) {
+                continue;
+            }
+            tried += 1;
+            let (min, stats) = shrink(&sp, 5_000, program_has_mul);
+            assert!(program_has_mul(&min));
+            assert_eq!(stats.original_nodes, sp.node_count());
+            assert_eq!(stats.final_nodes, min.node_count());
+            assert!(
+                min.node_count() <= 2,
+                "expected near-singleton, got {} nodes from {}",
+                min.node_count(),
+                sp.node_count()
+            );
+            assert!(!min.emit().is_empty());
+            if tried == 3 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_respects_the_budget() {
+        let sp = random_structured(5, 200);
+        let (_, stats) = shrink(&sp, 7, |_| false);
+        assert!(stats.tests <= 7);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.final_nodes, stats.original_nodes);
+    }
+
+    #[test]
+    fn edits_never_break_emission() {
+        // Every single-edit neighbour of a generated program must still
+        // assemble and terminate.
+        let sp = random_structured(33, 80);
+        let mut checked = 0;
+        for edit in candidates(&sp) {
+            if let Some(next) = apply(&sp, &edit) {
+                let p = next.emit();
+                let t = ci_emu::run_trace(&p, 100_000).unwrap();
+                assert!(t.completed(), "edit {edit:?} broke termination");
+                checked += 1;
+            }
+        }
+        assert!(checked > 20, "only {checked} applicable edits");
+    }
+
+    #[test]
+    fn init_pruning_reaches_empty_when_allowed() {
+        let sp = StructuredProgram {
+            init: vec![(Reg::R1, 1), (Reg::R2, 2)],
+            body: vec![Stmt::Op(SimpleOp::Add(Reg::R3, Reg::R1, Reg::R2))],
+            funcs: vec![],
+        };
+        let (min, _) = shrink(&sp, 100, |_| true);
+        assert!(min.init.is_empty());
+        assert!(min.body.is_empty());
+    }
+}

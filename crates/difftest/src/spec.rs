@@ -1,0 +1,206 @@
+//! Trial specification: the randomized coordinates of one differential test.
+
+use ci_core::{
+    CacheModel, CompletionModel, PipelineConfig, Preemption, ReconStrategy, RedispatchMode,
+    RepredictMode, SquashMode,
+};
+use ci_workloads::SplitMix64;
+
+/// Everything needed to reproduce one fuzz trial: program coordinates plus
+/// the shared pipeline configuration its detailed models run under.
+///
+/// A spec is a pure function of its trial seed ([`TrialSpec::generate`]), so
+/// `(fuzz seed, trial index)` fully determines the trial regardless of
+/// worker count or scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Seed for [`ci_workloads::random_structured`].
+    pub program_seed: u64,
+    /// Size hint for the program generator.
+    pub size_hint: usize,
+    /// Shared configuration; the trial derives the BASE variant by setting
+    /// [`SquashMode::Full`] and the CI-I variant by
+    /// [`RedispatchMode::Instant`].
+    pub config: PipelineConfig,
+    /// Window size for the six idealized models (detailed models use
+    /// `config.window`).
+    pub ideal_window: usize,
+    /// Architectural trace bound.
+    pub max_insts: u64,
+}
+
+/// All reconvergence strategies the simulator supports: software
+/// post-dominators plus every hardware heuristic combination (including the
+/// degenerate all-off detector, which must still verify — it just never
+/// reconverges).
+pub(crate) const RECON_STRATEGIES: [ReconStrategy; 9] = {
+    let mut out = [ReconStrategy {
+        postdominator: true,
+        returns: false,
+        loops: false,
+        ltb: false,
+    }; 9];
+    let mut i = 0;
+    while i < 8 {
+        out[i + 1] = ReconStrategy {
+            postdominator: false,
+            returns: i & 1 != 0,
+            loops: i & 2 != 0,
+            ltb: i & 4 != 0,
+        };
+        i += 1;
+    }
+    out
+};
+
+impl TrialSpec {
+    /// Derive the spec for one trial from its seed.
+    #[must_use]
+    pub fn generate(trial_seed: u64) -> TrialSpec {
+        let mut rng = SplitMix64::new(trial_seed);
+        let program_seed = rng.next_u64();
+        let size_hint = 8 + rng.below(192) as usize;
+
+        let window = [17, 24, 32, 64, 128, 256][rng.below(6) as usize];
+        let width = [4, 8, 16][rng.below(3) as usize];
+        let segment = [1, 1, 4, 16][rng.below(4) as usize];
+        let recon = RECON_STRATEGIES[rng.below(RECON_STRATEGIES.len() as u64) as usize];
+        let preemption = if rng.chance(30) {
+            Preemption::Optimal
+        } else {
+            Preemption::Simple
+        };
+        let completion = [
+            CompletionModel::SpecC,
+            CompletionModel::SpecC,
+            CompletionModel::NonSpec,
+            CompletionModel::SpecD,
+            CompletionModel::Spec,
+        ][rng.below(5) as usize];
+        let repredict = [
+            RepredictMode::Heuristic,
+            RepredictMode::Heuristic,
+            RepredictMode::None,
+            RepredictMode::Oracle,
+        ][rng.below(4) as usize];
+        let cache = match rng.below(4) {
+            0 => CacheModel::Ideal {
+                latency: 1 + rng.below(3),
+            },
+            1 => CacheModel::paper_realistic(),
+            2 => CacheModel::Realistic {
+                words: 1024,
+                ways: 2,
+                line_words: 4,
+                hit: 1 + rng.below(2),
+                miss: 6 + rng.below(12),
+            },
+            _ => CacheModel::Realistic {
+                words: 512,
+                ways: 1,
+                line_words: 4,
+                hit: 1,
+                miss: 8,
+            },
+        };
+        let predictor_bits = 8 + rng.below(7) as u32;
+        let hide_false_mispredictions = rng.chance(15);
+        let oracle_ghr = rng.chance(15);
+
+        let config = PipelineConfig {
+            width,
+            segment,
+            recon,
+            preemption,
+            completion,
+            repredict,
+            cache,
+            predictor_bits,
+            hide_false_mispredictions,
+            oracle_ghr,
+            ..PipelineConfig::ci(window)
+        };
+
+        TrialSpec {
+            program_seed,
+            size_hint,
+            config,
+            ideal_window: [24, 64, 128, 256][rng.below(4) as usize],
+            max_insts: 25_000,
+        }
+    }
+
+    /// The three detailed-pipeline variants this spec exercises, with the
+    /// paper's labels.
+    #[must_use]
+    pub fn detailed_variants(&self) -> [(&'static str, PipelineConfig); 3] {
+        [
+            (
+                "BASE",
+                PipelineConfig {
+                    squash: SquashMode::Full,
+                    redispatch: RedispatchMode::Pipelined,
+                    ..self.config
+                },
+            ),
+            (
+                "CI",
+                PipelineConfig {
+                    squash: SquashMode::ControlIndependence,
+                    redispatch: RedispatchMode::Pipelined,
+                    ..self.config
+                },
+            ),
+            (
+                "CI-I",
+                PipelineConfig {
+                    squash: SquashMode::ControlIndependence,
+                    redispatch: RedispatchMode::Instant,
+                    ..self.config
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_and_seed_sensitive() {
+        assert_eq!(TrialSpec::generate(7), TrialSpec::generate(7));
+        assert_ne!(TrialSpec::generate(7), TrialSpec::generate(8));
+    }
+
+    #[test]
+    fn recon_table_covers_software_and_all_hardware_combos() {
+        assert!(RECON_STRATEGIES[0].postdominator);
+        let mut seen = std::collections::HashSet::new();
+        for s in &RECON_STRATEGIES[1..] {
+            assert!(!s.postdominator);
+            seen.insert((s.returns, s.loops, s.ltb));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn variants_share_everything_but_recovery() {
+        let s = TrialSpec::generate(42);
+        let [(_, b), (_, c), (_, i)] = s.detailed_variants();
+        assert_eq!(b.squash, SquashMode::Full);
+        assert_eq!(c.squash, SquashMode::ControlIndependence);
+        assert_eq!(i.redispatch, RedispatchMode::Instant);
+        assert_eq!(b.window, c.window);
+        assert_eq!(c.cache, i.cache);
+        assert!(b.check && c.check && i.check);
+    }
+
+    #[test]
+    fn sampled_cache_geometries_are_constructible() {
+        for seed in 0..200 {
+            let s = TrialSpec::generate(seed);
+            let _ = ci_core::DataCache::new(s.config.cache);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests for the differential fuzzing harness: clean campaigns,
+//! worker-count independence, forced-failure shrinking, and artifact
+//! round-trips.
+
+use ci_difftest::{
+    check_program, run_fuzz, run_locked, shrink, silence_panics, trial_seed, Artifact, FuzzOptions,
+    ShrinkStats, TrialSpec,
+};
+use ci_workloads::random_structured;
+
+#[test]
+fn fuzz_campaign_seed1_is_clean() {
+    // A slice of the acceptance campaign (`fuzz --iters 200 --seed 1`): every
+    // trial must pass every lockstep and dominance check.
+    let summary = run_fuzz(&FuzzOptions {
+        seed: 1,
+        iters: Some(40),
+        workers: 2,
+        ..FuzzOptions::default()
+    });
+    assert_eq!(summary.trials, 40);
+    assert!(
+        summary.clean(),
+        "trials failed: {:?}",
+        summary
+            .artifacts
+            .iter()
+            .map(|a| a.trial_seed)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn campaigns_are_worker_count_independent() {
+    // Trial i always derives from trial_seed(seed, i), so the set of
+    // explored trials — and therefore the findings — cannot depend on the
+    // worker pool's size or scheduling.
+    let run = |workers| {
+        run_fuzz(&FuzzOptions {
+            seed: 77,
+            iters: Some(12),
+            workers,
+            ..FuzzOptions::default()
+        })
+    };
+    let solo = run(1);
+    let pool = run(4);
+    assert_eq!(solo.trials, pool.trials);
+    assert_eq!(solo.failed, pool.failed);
+    let seeds =
+        |s: &ci_difftest::FuzzSummary| s.artifacts.iter().map(|a| a.trial_seed).collect::<Vec<_>>();
+    assert_eq!(seeds(&solo), seeds(&pool));
+    // And the per-trial seeds themselves are pure functions of (seed, i).
+    for i in 0..12 {
+        assert_eq!(trial_seed(77, i), trial_seed(77, i));
+    }
+}
+
+#[test]
+fn corrupted_oracle_shrinks_to_a_small_repro() {
+    // Feed the shrinker a failure manufactured with the corrupt_oracle_entry
+    // test hook: the divergence fires on the first retirement, so the
+    // minimal reproducer must collapse to a tiny fraction of the original.
+    silence_panics();
+    let spec = TrialSpec::generate(0xFEED_FACE);
+    let original = random_structured(spec.program_seed, spec.size_hint);
+    let (_, ci_config) = spec.detailed_variants()[1];
+    let fails = |candidate: &ci_workloads::StructuredProgram| {
+        let p = candidate.emit();
+        !p.is_empty()
+            && run_locked(&p, ci_config, spec.max_insts, Some(0))
+                .panic
+                .is_some()
+    };
+    assert!(fails(&original), "the corrupt hook must trip the checker");
+    let (min, stats): (_, ShrinkStats) = shrink(&original, 2000, fails);
+    assert!(fails(&min), "shrinking must preserve the failure");
+    assert!(
+        stats.final_nodes * 4 <= stats.original_nodes,
+        "repro too large: {} of {} nodes",
+        stats.final_nodes,
+        stats.original_nodes
+    );
+    assert!(
+        min.emit().len() * 4 <= original.emit().len(),
+        "emitted repro too large: {} of {} instructions",
+        min.emit().len(),
+        original.emit().len()
+    );
+}
+
+#[test]
+fn artifacts_round_trip_and_replay() {
+    // A rendered artifact is self-contained: parse() recovers the program
+    // and spec coordinates, and replay() reproduces the recorded verdict.
+    let ts = trial_seed(1, 3);
+    let spec = TrialSpec::generate(ts);
+    let program = random_structured(spec.program_seed, spec.size_hint);
+    let (_, failures) = check_program(&program.emit(), &spec);
+    let art = Artifact {
+        trial_seed: ts,
+        program,
+        shrink: ShrinkStats::default(),
+        failures,
+    };
+    let parsed = Artifact::parse(&art.render()).expect("rendered artifacts parse back");
+    assert_eq!(parsed.trial_seed, art.trial_seed);
+    assert_eq!(parsed.program.emit(), art.program.emit());
+    let replayed = ci_difftest::replay(&parsed);
+    assert_eq!(replayed.failures.len(), art.failures.len());
+}
+
+#[test]
+fn extreme_trial_seeds_round_trip_through_artifacts() {
+    // u64 seeds above 2^53 cannot survive a JSON float; the artifact must
+    // carry them losslessly.
+    for ts in [u64::MAX, 0xd9fb_da74_a9f7_ddb4, 1] {
+        let art = Artifact {
+            trial_seed: ts,
+            program: random_structured(5, 30),
+            shrink: ShrinkStats::default(),
+            failures: Vec::new(),
+        };
+        let parsed = Artifact::parse(&art.render()).expect("parse");
+        assert_eq!(parsed.trial_seed, ts);
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests: execution semantics and wrong-path isolation.
 
 use ci_emu::exec::{alu_result, branch_taken, effective_addr};
-use ci_emu::Emulator;
-use ci_isa::{Op, Pc, Reg};
+use ci_emu::{run_trace, Emulator};
+use ci_isa::{Addr, Op, Pc, Reg};
 use ci_workloads::random_program;
 use proptest::prelude::*;
 
@@ -50,5 +50,51 @@ proptest! {
         let regs_after: Vec<u64> = Reg::all().map(|r| emu.reg(r)).collect();
         prop_assert_eq!(regs_before, regs_after);
         prop_assert_eq!(pc_before, emu.pc());
+    }
+
+    #[test]
+    fn wrong_path_forks_never_mutate_parent_memory(
+        seed in 0u64..500, steps in 0usize..200, fork_pc in 0u32..50
+    ) {
+        // The fork overlays its stores on the parent memory copy-on-write;
+        // however much the wrong path writes, every parent address must read
+        // back unchanged (random programs store to small absolute
+        // addresses, so scanning a prefix of the address space sees them).
+        let p = random_program(seed, 60);
+        let mut emu = Emulator::new(&p);
+        for _ in 0..steps {
+            if emu.halted() || emu.step().is_err() {
+                break;
+            }
+        }
+        let mem_before: Vec<u64> = (0..256).map(|a| emu.memory().read(Addr(a))).collect();
+        let pages_before = emu.memory().resident_pages();
+        let mut wp = emu.fork_wrong_path(Pc(fork_pc));
+        let _ = wp.run_until(|_| false, 300);
+        let mem_after: Vec<u64> = (0..256).map(|a| emu.memory().read(Addr(a))).collect();
+        prop_assert_eq!(mem_before, mem_after);
+        prop_assert_eq!(pages_before, emu.memory().resident_pages());
+    }
+
+    #[test]
+    fn random_program_is_deterministic(seed in any::<u64>(), size in 4usize..200) {
+        // Same (seed, size_hint) → bit-identical program: fuzz artifacts and
+        // property-test counterexamples replay from the two integers alone.
+        prop_assert_eq!(random_program(seed, size), random_program(seed, size));
+    }
+
+    #[test]
+    fn trace_is_deterministic(seed in 0u64..500, max in 1u64..5_000) {
+        // Two independent emulations of the same program must retire the
+        // identical dynamic instruction stream (the pipeline's oracle
+        // depends on this).
+        let p = random_program(seed, 80);
+        let t1 = run_trace(&p, max);
+        let t2 = run_trace(&p, max);
+        match (t1, t2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent outcomes: {a:?} vs {b:?}"),
+        }
     }
 }

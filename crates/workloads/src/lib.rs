@@ -44,10 +44,12 @@ mod go_like;
 mod jpeg_like;
 mod random;
 mod rng;
+pub mod stmt;
 mod vortex_like;
 
-pub use random::random_program;
+pub use random::{random_program, random_structured};
 pub use rng::SplitMix64;
+pub use stmt::{count_nodes, CondKind, SimpleOp, Stmt, StructuredProgram};
 
 use ci_isa::Program;
 use std::fmt;

@@ -1,7 +1,8 @@
-//! Random structured-program generation for property tests.
+//! Random structured-program generation for property tests and fuzzing.
 
+use crate::stmt::{CondKind, SimpleOp, Stmt, StructuredProgram};
 use crate::SplitMix64;
-use ci_isa::{Asm, Program, Reg};
+use ci_isa::{Program, Reg};
 
 /// Generate a random but well-structured program that is guaranteed to halt.
 ///
@@ -13,22 +14,43 @@ use ci_isa::{Asm, Program, Reg};
 /// wrong paths and false data dependences) arise organically.
 ///
 /// Every workspace simulator property-tests itself against the functional
-/// emulator on these programs.
+/// emulator on these programs, and the differential fuzzing harness
+/// (`ci-difftest`) sweeps pipeline configurations over them.
 ///
 /// `size_hint` roughly controls static statement count (clamped to `4..=400`).
+///
+/// # Determinism
+///
+/// The generator is a pure function of `(seed, size_hint)`: it draws from a
+/// [`SplitMix64`] stream and nothing else, so the same arguments always
+/// yield a bit-identical [`Program`] — on any host, in any test order, in
+/// any thread. Fuzzing artifacts and failing property-test cases therefore
+/// replay from the two integers alone. (Tested here and relied on by
+/// `ci-difftest --replay`.)
 ///
 /// ```
 /// let p = ci_workloads::random_program(123, 40);
 /// let t = ci_emu::run_trace(&p, 100_000).unwrap();
 /// assert!(t.completed()); // generated programs always halt
+/// assert_eq!(p, ci_workloads::random_program(123, 40)); // same seed, same program
 /// ```
 #[must_use]
 pub fn random_program(seed: u64, size_hint: usize) -> Program {
+    random_structured(seed, size_hint).emit()
+}
+
+/// Like [`random_program`], but returning the editable statement-level form
+/// ([`StructuredProgram`]) the program is generated through.
+///
+/// `random_program(seed, h)` is exactly
+/// `random_structured(seed, h).emit()`; the structured form exists so the
+/// differential fuzzing harness can *shrink* a failing program (delete
+/// statements, halve loop trip counts) and re-emit a valid program after
+/// every edit.
+#[must_use]
+pub fn random_structured(seed: u64, size_hint: usize) -> StructuredProgram {
     let g = Gen {
         rng: SplitMix64::new(seed),
-        a: Asm::new(),
-        label_n: 0,
-        funcs: Vec::new(),
     };
     g.generate(size_hint.clamp(4, 400) as i64)
 }
@@ -46,184 +68,152 @@ const COMPUTE_REGS: [Reg; 8] = [
 
 struct Gen {
     rng: SplitMix64,
-    a: Asm,
-    label_n: u32,
-    funcs: Vec<String>,
 }
 
 impl Gen {
-    fn fresh(&mut self, base: &str) -> String {
-        self.label_n += 1;
-        format!("{base}_{}", self.label_n)
-    }
-
     fn reg(&mut self) -> Reg {
         COMPUTE_REGS[self.rng.below(COMPUTE_REGS.len() as u64) as usize]
     }
 
-    fn generate(mut self, budget: i64) -> Program {
-        // Decide on leaf functions up front so calls can reference them.
+    fn generate(mut self, budget: i64) -> StructuredProgram {
         let n_funcs = self.rng.below(3) as usize;
-        for _ in 0..n_funcs {
-            let name = self.fresh("fn");
-            self.funcs.push(name);
-        }
 
         // Seed some registers with data so early branches are interesting.
+        let mut init = Vec::with_capacity(COMPUTE_REGS.len());
         for (i, r) in COMPUTE_REGS.iter().enumerate() {
             let v = self.rng.next_u64() % 1000;
-            self.a.li(*r, v as i64 - 500 + i as i64);
+            init.push((*r, v as i64 - 500 + i as i64));
         }
 
         let mut body_budget = budget;
-        self.block(0, &mut body_budget, n_funcs > 0);
-        self.a.halt();
+        let body = self.block(0, &mut body_budget, n_funcs);
 
-        // Emit the leaf functions after the halt.
-        for i in 0..self.funcs.len() {
-            let name = self.funcs[i].clone();
-            self.a.label(&name).expect("fresh labels are unique");
+        let mut funcs = Vec::with_capacity(n_funcs);
+        for _ in 0..n_funcs {
             let mut fn_budget = 3 + self.rng.below(5) as i64;
-            self.leaf_body(&mut fn_budget);
-            self.a.ret();
+            funcs.push(self.leaf_body(&mut fn_budget));
         }
 
-        self.a.assemble().expect("generated program assembles")
+        StructuredProgram { init, body, funcs }
     }
 
     /// Straight-line code plus an optional diamond; no loops or calls (used
     /// for leaf functions).
-    fn leaf_body(&mut self, budget: &mut i64) {
+    fn leaf_body(&mut self, budget: &mut i64) -> Vec<Stmt> {
+        let mut out = Vec::new();
         while *budget > 0 {
             *budget -= 1;
             if self.rng.chance(25) {
-                self.diamond(0, budget, false);
+                out.push(self.diamond(0, budget, 0));
             } else {
-                self.simple_op();
+                out.push(Stmt::Op(self.simple_op()));
             }
         }
+        out
     }
 
-    fn block(&mut self, depth: u32, budget: &mut i64, allow_calls: bool) {
+    fn block(&mut self, depth: u32, budget: &mut i64, n_funcs: usize) -> Vec<Stmt> {
+        let mut out = Vec::new();
         while *budget > 0 {
             *budget -= 1;
             match self.rng.below(12) {
-                0..=5 => self.simple_op(),
-                6 | 7 => self.diamond(depth, budget, allow_calls),
+                0..=5 => out.push(Stmt::Op(self.simple_op())),
+                6 | 7 => out.push(self.diamond(depth, budget, n_funcs)),
                 8 | 9 => {
                     if depth < 2 {
-                        self.counted_loop(depth, budget, allow_calls);
+                        out.push(self.counted_loop(depth, budget, n_funcs));
                     } else {
-                        self.simple_op();
+                        out.push(Stmt::Op(self.simple_op()));
                     }
                 }
                 10 => {
-                    if allow_calls && !self.funcs.is_empty() {
-                        let f =
-                            self.funcs[self.rng.below(self.funcs.len() as u64) as usize].clone();
-                        self.a.call(&f);
+                    if n_funcs > 0 {
+                        out.push(Stmt::Call(self.rng.below(n_funcs as u64) as usize));
                     } else {
-                        self.simple_op();
+                        out.push(Stmt::Op(self.simple_op()));
                     }
                 }
-                _ => self.simple_op(),
+                _ => out.push(Stmt::Op(self.simple_op())),
             }
         }
+        out
     }
 
-    fn simple_op(&mut self) {
+    fn simple_op(&mut self) -> SimpleOp {
         let rd = self.reg();
         let rs1 = self.reg();
         let rs2 = self.reg();
         match self.rng.below(12) {
-            0 => {
-                self.a.add(rd, rs1, rs2);
-            }
-            1 => {
-                self.a.sub(rd, rs1, rs2);
-            }
-            2 => {
-                self.a.xor(rd, rs1, rs2);
-            }
-            3 => {
-                self.a.and(rd, rs1, rs2);
-            }
-            4 => {
-                self.a.or(rd, rs1, rs2);
-            }
-            5 => {
-                self.a.mul(rd, rs1, rs2);
-            }
+            0 => SimpleOp::Add(rd, rs1, rs2),
+            1 => SimpleOp::Sub(rd, rs1, rs2),
+            2 => SimpleOp::Xor(rd, rs1, rs2),
+            3 => SimpleOp::And(rd, rs1, rs2),
+            4 => SimpleOp::Or(rd, rs1, rs2),
+            5 => SimpleOp::Mul(rd, rs1, rs2),
             6 => {
                 let imm = self.rng.below(64) as i64 - 32;
-                self.a.addi(rd, rs1, imm);
+                SimpleOp::Addi(rd, rs1, imm)
             }
             7 => {
                 let sh = self.rng.below(8) as i64;
-                self.a.srli(rd, rs1, sh);
+                SimpleOp::Srli(rd, rs1, sh)
             }
-            8 => {
-                self.a.slt(rd, rs1, rs2);
-            }
+            8 => SimpleOp::Slt(rd, rs1, rs2),
             9 => {
                 let addr = self.rng.below(64) as i64;
-                self.a.load(rd, Reg::R0, addr);
+                SimpleOp::Load(rd, addr)
             }
             10 => {
                 let addr = self.rng.below(64) as i64;
-                self.a.store(rs1, Reg::R0, addr);
+                SimpleOp::Store(rs1, addr)
             }
             _ => {
                 // Indexed memory access through a masked register.
                 let base = self.reg();
-                self.a.andi(Reg::R9, base, 31);
                 if self.rng.chance(50) {
-                    self.a.load(rd, Reg::R9, 64);
+                    SimpleOp::IndexedLoad { base, rd }
                 } else {
-                    self.a.store(rs1, Reg::R9, 64);
+                    SimpleOp::IndexedStore { base, rs: rs1 }
                 }
             }
         }
     }
 
-    fn diamond(&mut self, depth: u32, budget: &mut i64, allow_calls: bool) {
-        let else_l = self.fresh("else");
-        let join_l = self.fresh("join");
-        let (ra, rb) = (self.reg(), self.reg());
-        match self.rng.below(4) {
-            0 => self.a.beq(ra, rb, else_l.as_str()),
-            1 => self.a.bne(ra, rb, else_l.as_str()),
-            2 => self.a.blt(ra, rb, else_l.as_str()),
-            _ => self.a.bge(ra, rb, else_l.as_str()),
+    fn diamond(&mut self, depth: u32, budget: &mut i64, n_funcs: usize) -> Stmt {
+        let (a, b) = (self.reg(), self.reg());
+        let kind = match self.rng.below(4) {
+            0 => CondKind::Eq,
+            1 => CondKind::Ne,
+            2 => CondKind::Lt,
+            _ => CondKind::Ge,
         };
         let mut then_budget = (self.rng.below(4) as i64 + 1).min(*budget);
         *budget -= then_budget;
-        self.block(depth + 1, &mut then_budget, allow_calls);
-        if self.rng.chance(80) {
+        let then = self.block(depth + 1, &mut then_budget, n_funcs);
+        let els = if self.rng.chance(80) {
             // Proper diamond with an else arm.
-            self.a.jump(join_l.as_str());
-            self.a.label(&else_l).expect("fresh");
             let mut else_budget = (self.rng.below(4) as i64 + 1).min(*budget);
             *budget -= else_budget;
-            self.block(depth + 1, &mut else_budget, allow_calls);
-            self.a.label(&join_l).expect("fresh");
+            Some(self.block(depth + 1, &mut else_budget, n_funcs))
         } else {
             // Skip-style branch (no else arm): target is the join point.
-            self.a.label(&else_l).expect("fresh");
+            None
+        };
+        Stmt::If {
+            kind,
+            a,
+            b,
+            then,
+            els,
         }
     }
 
-    fn counted_loop(&mut self, depth: u32, budget: &mut i64, allow_calls: bool) {
-        let top = self.fresh("top");
-        let counter = [Reg::R20, Reg::R21, Reg::R22][depth as usize % 3];
-        let trips = 1 + self.rng.below(3) as i64;
-        self.a.li(counter, trips);
-        self.a.label(&top).expect("fresh");
+    fn counted_loop(&mut self, depth: u32, budget: &mut i64, n_funcs: usize) -> Stmt {
+        let trips = 1 + self.rng.below(3) as u32;
         let mut body_budget = (self.rng.below(5) as i64 + 1).min(*budget);
         *budget -= body_budget;
-        self.block(depth + 1, &mut body_budget, allow_calls);
-        self.a.addi(counter, counter, -1);
-        self.a.bne(counter, Reg::R0, top.as_str());
+        let body = self.block(depth + 1, &mut body_budget, n_funcs);
+        Stmt::Loop { trips, body }
     }
 }
 
@@ -245,6 +235,20 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(random_program(9, 50), random_program(9, 50));
+    }
+
+    #[test]
+    fn structured_form_is_deterministic_and_emits_the_program() {
+        for seed in [0, 1, 7, 99, 12345] {
+            let s1 = random_structured(seed, 60);
+            let s2 = random_structured(seed, 60);
+            assert_eq!(s1, s2, "seed {seed}: structured form must be deterministic");
+            assert_eq!(
+                s1.emit(),
+                random_program(seed, 60),
+                "seed {seed}: random_program must be emit() of the structured form"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Statement-level structured-program representation.
+//!
+//! [`random_program`](crate::random_program) generates programs through this
+//! intermediate form rather than emitting assembly directly: a
+//! [`StructuredProgram`] is a tree of [`Stmt`] nodes (straight-line ops,
+//! if/else diamonds, constant-trip-count loops, leaf-function calls) that can
+//! be *edited* — statements deleted, loop trip counts halved — and re-emitted
+//! as a valid, guaranteed-terminating [`Program`]. That editability is what
+//! the differential fuzzing harness's automatic shrinker (`ci-difftest`)
+//! operates on: labels and branch targets are regenerated on every
+//! [`StructuredProgram::emit`], so no structural edit can dangle a reference.
+//!
+//! Termination is a structural invariant, not a property to re-check: loops
+//! carry a constant trip count, there is no recursion (functions are leaves),
+//! and control flow otherwise only moves forward.
+
+use ci_isa::{Asm, Program, Reg};
+
+/// A straight-line operation (no control flow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimpleOp {
+    /// `rd = rs1 + rs2`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2`
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 + imm`
+    Addi(Reg, Reg, i64),
+    /// `rd = rs1 >> imm`
+    Srli(Reg, Reg, i64),
+    /// `rd = (rs1 < rs2) as u64` (signed)
+    Slt(Reg, Reg, Reg),
+    /// `rd = mem[imm]` (absolute, off `r0`)
+    Load(Reg, i64),
+    /// `mem[imm] = rs` (absolute, off `r0`)
+    Store(Reg, i64),
+    /// `r9 = base & 31; rd = mem[r9 + 64]` — data-dependent address.
+    IndexedLoad {
+        /// Register whose value (masked) forms the address.
+        base: Reg,
+        /// Destination of the load.
+        rd: Reg,
+    },
+    /// `r9 = base & 31; mem[r9 + 64] = rs` — data-dependent address.
+    IndexedStore {
+        /// Register whose value (masked) forms the address.
+        base: Reg,
+        /// Register stored.
+        rs: Reg,
+    },
+}
+
+/// Comparison selecting a conditional branch op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondKind {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+}
+
+/// One structured statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// A straight-line operation.
+    Op(SimpleOp),
+    /// An if/else diamond: when the branch `cond(a, b)` is *taken* control
+    /// skips to `els` (or to the join when `els` is `None` — a skip-style
+    /// branch with no else arm).
+    If {
+        /// Branch condition.
+        kind: CondKind,
+        /// Left comparison operand.
+        a: Reg,
+        /// Right comparison operand.
+        b: Reg,
+        /// Fall-through arm (branch not taken).
+        then: Vec<Stmt>,
+        /// Taken arm; `None` emits a skip-style branch.
+        els: Option<Vec<Stmt>>,
+    },
+    /// A counted loop executing `body` exactly `trips` times (`trips >= 1`;
+    /// `0` is clamped to `1` at emission so shrinking can never hang a
+    /// backward branch on an uninitialized counter).
+    Loop {
+        /// Constant trip count.
+        trips: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A call to leaf function `funcs[idx]` (modulo the function count, so
+    /// structural edits can never dangle the index).
+    Call(usize),
+}
+
+impl Stmt {
+    /// Number of statement nodes in this subtree (the shrinker's size
+    /// metric).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match self {
+            Stmt::Op(_) | Stmt::Call(_) => 1,
+            Stmt::If { then, els, .. } => {
+                1 + count_nodes(then) + els.as_ref().map_or(0, |e| count_nodes(e))
+            }
+            Stmt::Loop { body, .. } => 1 + count_nodes(body),
+        }
+    }
+}
+
+/// Total node count of a statement list.
+#[must_use]
+pub fn count_nodes(stmts: &[Stmt]) -> usize {
+    stmts.iter().map(Stmt::node_count).sum()
+}
+
+/// A complete structured program: register initialization, a main body, and
+/// straight-line leaf functions callable from the body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StructuredProgram {
+    /// `li` register seeds emitted before the body.
+    pub init: Vec<(Reg, i64)>,
+    /// Main body; falls through to `halt`.
+    pub body: Vec<Stmt>,
+    /// Leaf functions (no loops or calls inside, by generator convention —
+    /// the emitter does not enforce it, but recursion is impossible since
+    /// calls only name this table and only the generator places them).
+    pub funcs: Vec<Vec<Stmt>>,
+}
+
+impl StructuredProgram {
+    /// Total statement nodes across body and functions.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        count_nodes(&self.body) + self.funcs.iter().map(|f| count_nodes(f)).sum::<usize>()
+    }
+
+    /// Assemble into an executable [`Program`]. Labels are freshly generated,
+    /// so any structurally valid tree emits successfully.
+    ///
+    /// # Panics
+    /// Panics only on internal assembler errors, which would be a bug in
+    /// this module.
+    #[must_use]
+    pub fn emit(&self) -> Program {
+        let mut e = Emitter {
+            a: Asm::new(),
+            label_n: 0,
+            counters: BODY_COUNTERS,
+        };
+        for &(r, v) in &self.init {
+            e.a.li(r, v);
+        }
+        let n_funcs = self.funcs.len();
+        e.stmts(&self.body, 0, n_funcs);
+        e.a.halt();
+        e.counters = FUNC_COUNTERS;
+        for (i, f) in self.funcs.iter().enumerate() {
+            e.a.label(&format!("fn_{i}"))
+                .expect("function labels are unique");
+            e.stmts(f, 0, n_funcs);
+            e.a.ret();
+        }
+        e.a.assemble().expect("structured programs always assemble")
+    }
+}
+
+/// Loop counter registers by loop-nesting depth; reserved by the generator
+/// (never produced by [`SimpleOp`] destinations). The main body and the leaf
+/// functions draw from disjoint banks: a function's loop must not clobber
+/// the counter of a caller's loop enclosing the call site.
+const BODY_COUNTERS: [Reg; 3] = [Reg::R20, Reg::R21, Reg::R22];
+const FUNC_COUNTERS: [Reg; 3] = [Reg::R23, Reg::R24, Reg::R25];
+
+struct Emitter {
+    a: Asm,
+    label_n: u32,
+    counters: [Reg; 3],
+}
+
+impl Emitter {
+    fn fresh(&mut self, base: &str) -> String {
+        self.label_n += 1;
+        format!("{base}_{}", self.label_n)
+    }
+
+    fn stmts(&mut self, list: &[Stmt], loop_depth: usize, n_funcs: usize) {
+        for s in list {
+            self.stmt(s, loop_depth, n_funcs);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, loop_depth: usize, n_funcs: usize) {
+        match s {
+            Stmt::Op(op) => self.op(*op),
+            Stmt::If {
+                kind,
+                a,
+                b,
+                then,
+                els,
+            } => {
+                let else_l = self.fresh("else");
+                match kind {
+                    CondKind::Eq => self.a.beq(*a, *b, else_l.as_str()),
+                    CondKind::Ne => self.a.bne(*a, *b, else_l.as_str()),
+                    CondKind::Lt => self.a.blt(*a, *b, else_l.as_str()),
+                    CondKind::Ge => self.a.bge(*a, *b, else_l.as_str()),
+                };
+                match els {
+                    Some(els) => {
+                        let join_l = self.fresh("join");
+                        self.stmts(then, loop_depth, n_funcs);
+                        self.a.jump(join_l.as_str());
+                        self.a.label(&else_l).expect("fresh");
+                        self.stmts(els, loop_depth, n_funcs);
+                        self.a.label(&join_l).expect("fresh");
+                    }
+                    None => {
+                        self.stmts(then, loop_depth, n_funcs);
+                        self.a.label(&else_l).expect("fresh");
+                    }
+                }
+            }
+            Stmt::Loop { trips, body } => {
+                let top = self.fresh("top");
+                let counter = self.counters[loop_depth % self.counters.len()];
+                self.a.li(counter, i64::from((*trips).max(1)));
+                self.a.label(&top).expect("fresh");
+                self.stmts(body, loop_depth + 1, n_funcs);
+                self.a.addi(counter, counter, -1);
+                self.a.bne(counter, Reg::R0, top.as_str());
+            }
+            Stmt::Call(idx) => {
+                if n_funcs > 0 {
+                    self.a.call(format!("fn_{}", idx % n_funcs).as_str());
+                }
+            }
+        }
+    }
+
+    fn op(&mut self, op: SimpleOp) {
+        match op {
+            SimpleOp::Add(rd, rs1, rs2) => {
+                self.a.add(rd, rs1, rs2);
+            }
+            SimpleOp::Sub(rd, rs1, rs2) => {
+                self.a.sub(rd, rs1, rs2);
+            }
+            SimpleOp::Xor(rd, rs1, rs2) => {
+                self.a.xor(rd, rs1, rs2);
+            }
+            SimpleOp::And(rd, rs1, rs2) => {
+                self.a.and(rd, rs1, rs2);
+            }
+            SimpleOp::Or(rd, rs1, rs2) => {
+                self.a.or(rd, rs1, rs2);
+            }
+            SimpleOp::Mul(rd, rs1, rs2) => {
+                self.a.mul(rd, rs1, rs2);
+            }
+            SimpleOp::Addi(rd, rs1, imm) => {
+                self.a.addi(rd, rs1, imm);
+            }
+            SimpleOp::Srli(rd, rs1, imm) => {
+                self.a.srli(rd, rs1, imm);
+            }
+            SimpleOp::Slt(rd, rs1, rs2) => {
+                self.a.slt(rd, rs1, rs2);
+            }
+            SimpleOp::Load(rd, imm) => {
+                self.a.load(rd, Reg::R0, imm);
+            }
+            SimpleOp::Store(rs, imm) => {
+                self.a.store(rs, Reg::R0, imm);
+            }
+            SimpleOp::IndexedLoad { base, rd } => {
+                self.a.andi(Reg::R9, base, 31);
+                self.a.load(rd, Reg::R9, 64);
+            }
+            SimpleOp::IndexedStore { base, rs } => {
+                self.a.andi(Reg::R9, base, 31);
+                self.a.store(rs, Reg::R9, 64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StructuredProgram {
+        StructuredProgram {
+            init: vec![(Reg::R1, 5), (Reg::R2, -3)],
+            body: vec![
+                Stmt::Op(SimpleOp::Add(Reg::R3, Reg::R1, Reg::R2)),
+                Stmt::If {
+                    kind: CondKind::Lt,
+                    a: Reg::R3,
+                    b: Reg::R1,
+                    then: vec![Stmt::Op(SimpleOp::Addi(Reg::R4, Reg::R3, 7))],
+                    els: Some(vec![Stmt::Op(SimpleOp::Xor(Reg::R4, Reg::R1, Reg::R2))]),
+                },
+                Stmt::Loop {
+                    trips: 3,
+                    body: vec![Stmt::Op(SimpleOp::Store(Reg::R4, 16)), Stmt::Call(0)],
+                },
+            ],
+            funcs: vec![vec![Stmt::Op(SimpleOp::Addi(Reg::R5, Reg::R5, 1))]],
+        }
+    }
+
+    #[test]
+    fn emits_and_halts() {
+        let p = sample().emit();
+        let t = ci_emu::run_trace(&p, 10_000).unwrap();
+        assert!(t.completed());
+    }
+
+    #[test]
+    fn emit_is_deterministic() {
+        assert_eq!(sample().emit(), sample().emit());
+    }
+
+    #[test]
+    fn node_count_counts_the_tree() {
+        let sp = sample();
+        // add, if, then-addi, else-xor, loop, store, call, fn-addi = 8
+        assert_eq!(sp.node_count(), 8);
+    }
+
+    #[test]
+    fn zero_trip_loops_are_clamped() {
+        let sp = StructuredProgram {
+            init: vec![],
+            body: vec![Stmt::Loop {
+                trips: 0,
+                body: vec![Stmt::Op(SimpleOp::Addi(Reg::R1, Reg::R1, 1))],
+            }],
+            funcs: vec![],
+        };
+        let t = ci_emu::run_trace(&sp.emit(), 1_000).unwrap();
+        assert!(t.completed());
+    }
+
+    #[test]
+    fn dangling_call_indices_wrap() {
+        let sp = StructuredProgram {
+            init: vec![],
+            body: vec![Stmt::Call(7)],
+            funcs: vec![vec![Stmt::Op(SimpleOp::Addi(Reg::R1, Reg::R1, 1))]],
+        };
+        let t = ci_emu::run_trace(&sp.emit(), 1_000).unwrap();
+        assert!(t.completed());
+    }
+
+    #[test]
+    fn calls_without_functions_vanish() {
+        let sp = StructuredProgram {
+            init: vec![],
+            body: vec![Stmt::Call(0), Stmt::Op(SimpleOp::Addi(Reg::R1, Reg::R1, 1))],
+            funcs: vec![],
+        };
+        let t = ci_emu::run_trace(&sp.emit(), 1_000).unwrap();
+        assert!(t.completed());
+        assert_eq!(t.len(), 2); // addi + halt
+    }
+}

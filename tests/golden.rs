@@ -1,0 +1,46 @@
+//! Golden-file tests: pin the rendered text of the paper's Table 1 and
+//! Table 2 at a small fixed scale.
+//!
+//! These tables fold in nearly every layer of the simulator — workload
+//! generation, the emulator oracle, predictors, the detailed pipeline with
+//! selective squash, and the report renderer — so any unintended behavioral
+//! change anywhere shows up as a table diff. To bless an intended change,
+//! regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use control_independence::experiments::{table1, table2, Scale};
+use std::path::PathBuf;
+
+const SCALE: Scale = Scale {
+    instructions: 10_000,
+    seed: 0x5EED,
+};
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing {}; run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden file; if intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn table1_text_is_pinned() {
+    check_golden("table1.txt", &table1(&SCALE).render());
+}
+
+#[test]
+fn table2_text_is_pinned() {
+    check_golden("table2.txt", &table2(&SCALE).render());
+}
