@@ -1,32 +1,25 @@
 //! Regenerates every table and figure in one run (the full evaluation).
-//! Pass `--json <path>` to also export every table as JSON lines.
+//!
+//! The union of every table's simulation cells is prefetched up front on
+//! the `--workers` pool, each distinct cell is computed exactly once (the
+//! window-256 CI runs feed five different tables), and the tables are then
+//! assembled serially from the memo cache — so stdout and the `--json`
+//! export are byte-identical for every worker count. Use `--cache-dir` to
+//! persist cells across runs and `--timing` to export per-cell wall times.
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::experiments as ex;
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = ex::Scale::from_env();
+    let mut cli = Cli::from_args("all_experiments");
+    let scale = ex::Scale::from_env_or_exit();
     println!("# Control-independence reproduction — full evaluation");
     println!(
         "# instructions per workload: {}, seed: {:#x}\n",
         scale.instructions, scale.seed
     );
-    out.table(&ex::table1(&scale));
-    out.table(&ex::figure3(&scale, &[32, 64, 128, 256, 512]));
-    let (ipc, imp) = ex::figure5_6(&scale, &[128, 256, 512]);
-    out.table(&ipc);
-    out.table(&imp);
-    out.table(&ex::table2(&scale));
-    out.table(&ex::table3(&scale));
-    out.table(&ex::table4(&scale));
-    out.table(&ex::figure8(&scale));
-    out.table(&ex::figure9(&scale));
-    out.table(&ex::figure10(&scale));
-    out.table(&ex::figure12(&scale));
-    out.table(&ex::figure13(&scale));
-    out.table(&ex::figure14(&scale));
-    out.table(&ex::figure17(&scale));
-    out.table(&ex::distributions(&scale));
-    out.finish();
+    for t in ex::run_all(&cli.engine, &scale) {
+        cli.table(&t);
+    }
+    cli.finish();
 }

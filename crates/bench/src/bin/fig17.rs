@@ -1,12 +1,14 @@
-//! Regenerates the paper's fig17. Scale with `CI_REPRO_INSTRUCTIONS`;
-//! pass `--json <path>` to also export the table as JSON lines.
+//! Regenerates the paper's Figure 17. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::experiments::{figure17, Scale};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    out.table(&figure17(&scale));
-    out.finish();
+    let mut cli = Cli::from_args("fig17");
+    let scale = Scale::from_env_or_exit();
+    let t = figure17(&cli.engine, &scale);
+    cli.table(&t);
+    cli.finish();
 }

@@ -1,12 +1,14 @@
 //! Regenerates Figure 3: the six idealized models vs window size.
-//! Pass `--json <path>` to also export the table as JSON lines.
+//! Shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
-use control_independence::experiments::{figure3, Scale};
+use ci_bench::cli::Cli;
+use control_independence::experiments::{figure3, Scale, FIGURE3_WINDOWS};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    out.table(&figure3(&scale, &[32, 64, 128, 256, 512]));
-    out.finish();
+    let mut cli = Cli::from_args("fig3");
+    let scale = Scale::from_env_or_exit();
+    let t = figure3(&cli.engine, &scale, &FIGURE3_WINDOWS);
+    cli.table(&t);
+    cli.finish();
 }

@@ -1,14 +1,15 @@
 //! Regenerates Figures 5 and 6: BASE vs CI vs CI-I and % improvement.
-//! Pass `--json <path>` to also export both tables as JSON lines.
+//! Shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
-use control_independence::experiments::{figure5_6, Scale};
+use ci_bench::cli::Cli;
+use control_independence::experiments::{figure5_6, Scale, FIGURE5_WINDOWS};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    let (ipc, imp) = figure5_6(&scale, &[128, 256, 512]);
-    out.table(&ipc);
-    out.table(&imp);
-    out.finish();
+    let mut cli = Cli::from_args("fig5");
+    let scale = Scale::from_env_or_exit();
+    let (ipc, imp) = figure5_6(&cli.engine, &scale, &FIGURE5_WINDOWS);
+    cli.table(&ipc);
+    cli.table(&imp);
+    cli.finish();
 }

@@ -1,12 +1,14 @@
-//! Regenerates the paper's fig8. Scale with `CI_REPRO_INSTRUCTIONS`;
-//! pass `--json <path>` to also export the table as JSON lines.
+//! Regenerates the paper's Figure 8. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::experiments::{figure8, Scale};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    out.table(&figure8(&scale));
-    out.finish();
+    let mut cli = Cli::from_args("fig8");
+    let scale = Scale::from_env_or_exit();
+    let t = figure8(&cli.engine, &scale);
+    cli.table(&t);
+    cli.finish();
 }

@@ -10,12 +10,15 @@
 //! cargo run --release -p ci-bench --bin inspect -- go 30000 --json go.jsonl
 //! ```
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::ci_cfg::{Cfg, PostDominators, ReconvergenceMap};
 use control_independence::prelude::*;
 
+const SEED: u64 = 0x5EED;
+
 fn main() {
-    let (mut out, mut args) = Emitter::from_args();
+    let mut cli = Cli::from_args("inspect");
+    let args = &mut cli.rest;
     // --timeline <first>:<last> (0-based retired-instruction indices).
     let mut timeline_range: Option<(u64, u64)> = None;
     if let Some(i) = args.iter().position(|a| a == "--timeline") {
@@ -46,7 +49,7 @@ fn main() {
     };
     let program = workload.build(&WorkloadParams {
         scale: workload.scale_for(instructions),
-        seed: 0x5EED,
+        seed: SEED,
     });
 
     println!("== {workload}: {} static instructions ==\n", program.len());
@@ -90,11 +93,19 @@ fn main() {
     }
 
     println!("\n== {instructions}-instruction run ==");
-    for (label, cfg) in [
+    let runs = [
         ("BASE", PipelineConfig::base(256)),
         ("CI", PipelineConfig::ci(256)),
-    ] {
-        let s = simulate(&program, cfg, instructions).expect("workload runs");
+    ];
+    cli.engine
+        .prefetch(&runs.map(|(_, config)| CellSpec::Detailed {
+            workload,
+            config,
+            instructions,
+            seed: SEED,
+        }));
+    for (label, cfg) in runs {
+        let s = cli.engine.stats(workload, cfg, instructions, SEED);
         println!(
             "  {label:<4} {:.2} IPC, {} cycles, {} recoveries ({:.0}% reconverged), \
              {:.2} issues/retired",
@@ -136,6 +147,7 @@ fn main() {
     let records = timeline.cycles_for_retired_range(first, last, 2);
     print!("{}", TimelineProbe::render(records, 256));
 
-    out.raw_jsonl(&registry.to_jsonl(&[("workload", workload.name()), ("config", "ci_w256")]));
-    out.finish();
+    cli.out
+        .raw_jsonl(&registry.to_jsonl(&[("workload", workload.name()), ("config", "ci_w256")]));
+    cli.finish();
 }

@@ -1,12 +1,14 @@
-//! Regenerates the paper's table1. Scale with `CI_REPRO_INSTRUCTIONS`;
-//! pass `--json <path>` to also export the table as JSON lines.
+//! Regenerates the paper's Table 1. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::experiments::{table1, Scale};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    out.table(&table1(&scale));
-    out.finish();
+    let mut cli = Cli::from_args("table1");
+    let scale = Scale::from_env_or_exit();
+    let t = table1(&cli.engine, &scale);
+    cli.table(&t);
+    cli.finish();
 }

@@ -1,12 +1,14 @@
-//! Regenerates the paper's table3. Scale with `CI_REPRO_INSTRUCTIONS`;
-//! pass `--json <path>` to also export the table as JSON lines.
+//! Regenerates the paper's Table 3. Scale with `CI_REPRO_INSTRUCTIONS`;
+//! shared flags (`--json`, `--workers`, `--cache-dir`, `--timing`) are
+//! documented in `ci_bench::cli`.
 
-use ci_bench::cli::Emitter;
+use ci_bench::cli::Cli;
 use control_independence::experiments::{table3, Scale};
 
 fn main() {
-    let (mut out, _) = Emitter::from_args();
-    let scale = Scale::from_env();
-    out.table(&table3(&scale));
-    out.finish();
+    let mut cli = Cli::from_args("table3");
+    let scale = Scale::from_env_or_exit();
+    let t = table3(&cli.engine, &scale);
+    cli.table(&t);
+    cli.finish();
 }

@@ -5,17 +5,26 @@
 //! track the *simulator's own* performance. Scale the experiments with
 //! `CI_REPRO_INSTRUCTIONS=<n>`.
 //!
-//! Every binary accepts `--json <path>`: the tables it prints are also
-//! exported as JSON lines (one object per table row) to `path`, via
-//! [`cli::Emitter`].
+//! Every binary accepts the shared flags of [`cli::Cli`]:
+//!
+//! - `--json <path>`: export every printed table as JSON lines.
+//! - `--workers <n>` / `-j <n>`: simulation-cell parallelism (default:
+//!   `CI_WORKERS` or the machine's available parallelism; `1` = serial
+//!   reference mode; printed output is byte-identical for every value).
+//! - `--cache-dir <dir>`: persist computed cells to `<dir>/cells.jsonl` and
+//!   reuse them on the next run.
+//! - `--timing <path>`: export per-cell wall times and cache counters as
+//!   JSON lines through the `ci-obs` metrics layer.
 
 pub mod cli {
-    //! Shared command-line plumbing for the experiment binaries: the
-    //! `--json <path>` flag and the table emitter behind it.
+    //! Shared command-line plumbing for the experiment binaries: the common
+    //! flags, the [`Engine`] behind `--workers`/`--cache-dir`, and the table
+    //! emitter behind `--json`.
 
     use control_independence::ci_report::Table;
+    use control_independence::ci_runner::{Engine, EngineOptions};
     use std::io::Write;
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     /// Prints tables to stdout and, when `--json <path>` was given,
     /// accumulates their JSON-lines export for writing at [`Emitter::finish`].
@@ -26,34 +35,14 @@ pub mod cli {
     }
 
     impl Emitter {
-        /// Parse `--json <path>` out of the process arguments, returning the
-        /// emitter and the remaining (positional) arguments. Exits with a
-        /// usage message if `--json` is present without a path.
+        /// An emitter writing JSON lines to `path` at finish (`None` prints
+        /// tables only).
         #[must_use]
-        pub fn from_args() -> (Emitter, Vec<String>) {
-            let mut path = None;
-            let mut rest = Vec::new();
-            let mut args = std::env::args().skip(1);
-            while let Some(a) = args.next() {
-                if a == "--json" {
-                    match args.next() {
-                        Some(p) => path = Some(PathBuf::from(p)),
-                        None => {
-                            eprintln!("--json requires a path argument");
-                            std::process::exit(2);
-                        }
-                    }
-                } else {
-                    rest.push(a);
-                }
+        pub fn new(path: Option<PathBuf>) -> Emitter {
+            Emitter {
+                path,
+                buf: String::new(),
             }
-            (
-                Emitter {
-                    path,
-                    buf: String::new(),
-                },
-                rest,
-            )
         }
 
         /// Whether `--json` was requested.
@@ -86,11 +75,95 @@ pub mod cli {
         /// silently dropped export would defeat the point.
         pub fn finish(&mut self) {
             if let Some(path) = self.path.take() {
-                let mut f = std::fs::File::create(&path)
-                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-                f.write_all(self.buf.as_bytes())
-                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                write_file(&path, self.buf.as_bytes());
             }
+        }
+    }
+
+    fn write_file(path: &Path, bytes: &[u8]) {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        f.write_all(bytes)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+
+    /// Parsed shared flags: the table [`Emitter`], the cell [`Engine`], and
+    /// the remaining positional arguments.
+    pub struct Cli {
+        /// Table printer / JSON-lines exporter (`--json`).
+        pub out: Emitter,
+        /// Memoizing parallel cell executor (`--workers`, `--cache-dir`).
+        pub engine: Engine,
+        /// Positional arguments left after flag parsing.
+        pub rest: Vec<String>,
+        timing: Option<PathBuf>,
+        label: &'static str,
+    }
+
+    impl Cli {
+        /// Parse the process arguments. `label` names the binary in timing
+        /// exports. Exits with a usage message on a malformed flag.
+        #[must_use]
+        pub fn from_args(label: &'static str) -> Cli {
+            let mut opts = EngineOptions::from_env();
+            let mut json = None;
+            let mut timing = None;
+            let mut rest = Vec::new();
+            let mut args = std::env::args().skip(1);
+            fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{flag} requires an argument");
+                    std::process::exit(2);
+                })
+            }
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--json" => json = Some(PathBuf::from(value(&mut args, "--json"))),
+                    "--timing" => timing = Some(PathBuf::from(value(&mut args, "--timing"))),
+                    "--cache-dir" => {
+                        opts.cache_dir = Some(PathBuf::from(value(&mut args, "--cache-dir")));
+                    }
+                    "--workers" | "-j" => {
+                        let v = value(&mut args, "--workers");
+                        opts.workers = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                            eprintln!("--workers must be a positive integer, got `{v}`");
+                            std::process::exit(2);
+                        });
+                    }
+                    _ => rest.push(a),
+                }
+            }
+            Cli {
+                out: Emitter::new(json),
+                engine: Engine::new(opts),
+                rest,
+                timing,
+                label,
+            }
+        }
+
+        /// Print `table` (and stage its JSON export).
+        pub fn table(&mut self, table: &Table) {
+            self.out.table(table);
+        }
+
+        /// Finish the run: flush the `--json` export, write the `--timing`
+        /// metrics (per-cell wall times are nondeterministic, so they never
+        /// go into the byte-compared `--json` artifact), persist the cell
+        /// cache, and print a one-line cache/timing summary to stderr.
+        pub fn finish(mut self) {
+            self.out.finish();
+            if let Some(path) = &self.timing {
+                let jsonl = self
+                    .engine
+                    .timing_registry()
+                    .to_jsonl(&[("binary", self.label)]);
+                write_file(path, jsonl.as_bytes());
+            }
+            if let Err(e) = self.engine.save_cache() {
+                panic!("cannot persist cell cache: {e}");
+            }
+            eprint!("{}", self.engine.timing_summary(5));
         }
     }
 }

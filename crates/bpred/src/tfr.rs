@@ -135,6 +135,29 @@ impl TfrStats {
         }
     }
 
+    /// The raw `(key, true, false)` entries, sorted by key — a canonical
+    /// form suitable for hashing or lossless serialization.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> =
+            self.counts.iter().map(|(&k, &(t, f))| (k, t, f)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuild a collector from [`TfrStats::entries`] output. Duplicate keys
+    /// accumulate.
+    #[must_use]
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, u64, u64)>) -> TfrStats {
+        let mut s = TfrStats::new();
+        for (k, t, f) in entries {
+            let e = s.counts.entry(k).or_insert((0, 0));
+            e.0 += t;
+            e.1 += f;
+        }
+        s
+    }
+
     /// Total (true, false) mispredictions recorded.
     #[must_use]
     pub fn totals(&self) -> (u64, u64) {

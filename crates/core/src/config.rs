@@ -32,7 +32,7 @@ impl ReconStrategy {
     /// Software post-dominator analysis only (the paper's primary CI
     /// configuration).
     #[must_use]
-    pub fn software() -> ReconStrategy {
+    pub const fn software() -> ReconStrategy {
         ReconStrategy {
             postdominator: true,
             returns: false,
@@ -43,7 +43,7 @@ impl ReconStrategy {
 
     /// Hardware-only heuristics (Figure 17 configurations).
     #[must_use]
-    pub fn hardware(returns: bool, loops: bool, ltb: bool) -> ReconStrategy {
+    pub const fn hardware(returns: bool, loops: bool, ltb: bool) -> ReconStrategy {
         ReconStrategy {
             postdominator: false,
             returns,

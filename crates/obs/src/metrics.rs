@@ -29,6 +29,20 @@ impl EventCounters {
     pub fn iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
         EventKind::ALL.into_iter().map(|k| (k, self.get(k)))
     }
+
+    /// The raw counts in [`EventKind::ALL`] declaration order.
+    #[must_use]
+    pub fn raw_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild counters from [`EventCounters::raw_counts`] output. Returns
+    /// `None` if `counts` has the wrong length.
+    #[must_use]
+    pub fn from_raw_counts(counts: &[u64]) -> Option<EventCounters> {
+        let counts: [u64; EventKind::ALL.len()] = counts.try_into().ok()?;
+        Some(EventCounters { counts })
+    }
 }
 
 /// A histogram over `u64` values with caller-fixed bucket bounds.
@@ -159,6 +173,51 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// The complete internal state as
+    /// `(bounds, counts, total, sum, min, max)` — `counts` includes the
+    /// overflow bucket. Together with [`Histogram::from_raw_parts`] this
+    /// round-trips a histogram losslessly.
+    #[must_use]
+    pub fn raw_parts(&self) -> (&[u64], &[u64], u64, u128, u64, u64) {
+        (
+            &self.bounds,
+            &self.counts,
+            self.total,
+            self.sum,
+            self.min,
+            self.max,
+        )
+    }
+
+    /// Rebuild a histogram from [`Histogram::raw_parts`] output. Returns
+    /// `None` if the parts are structurally inconsistent (bad bounds, wrong
+    /// count vector length, or a total that disagrees with the counts).
+    #[must_use]
+    pub fn from_raw_parts(
+        bounds: &[u64],
+        counts: &[u64],
+        total: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Option<Histogram> {
+        if bounds.is_empty()
+            || !bounds.windows(2).all(|w| w[0] < w[1])
+            || counts.len() != bounds.len() + 1
+            || counts.iter().sum::<u64>() != total
+        {
+            return None;
+        }
+        Some(Histogram {
+            bounds: bounds.to_vec(),
+            counts: counts.to_vec(),
+            total,
+            sum,
+            min,
+            max,
+        })
     }
 
     /// `(upper_bound, count)` pairs including the overflow bucket, whose
@@ -296,7 +355,7 @@ impl Registry {
 
 /// The standard metrics sink: counts every event kind and accumulates the
 /// paper's distributional quantities.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MetricsProbe {
     /// Event counts by kind.
     pub counters: EventCounters,

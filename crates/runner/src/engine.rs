@@ -1,0 +1,415 @@
+//! The experiment engine: a memo cache of simulation cells fronted by the
+//! work-stealing pool, with optional on-disk persistence and per-cell
+//! timing exported through the `ci-obs` metrics layer.
+
+use crate::cell::{fnv1a, CellOutput, CellSpec, SharedInputs};
+use crate::memo::Memo;
+use crate::persist::{output_from_json, output_to_json};
+use crate::pool::run_batch;
+use ci_core::{PipelineConfig, Stats};
+use ci_ideal::{IdealResult, ModelKind};
+use ci_obs::json::{parse, JsonValue};
+use ci_obs::{MetricsProbe, Registry};
+use ci_workloads::Workload;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// File name of the persisted cell cache inside `--cache-dir`.
+pub const CACHE_FILE: &str = "cells.jsonl";
+
+/// How an [`Engine`] is configured.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Worker threads for [`Engine::prefetch`] batches. `1` is the serial
+    /// reference mode; results are byte-identical for every value.
+    pub workers: usize,
+    /// Directory for the persistent cell cache (`cells.jsonl`), enabling
+    /// resumable runs. `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl EngineOptions {
+    /// Default options: workers from the `CI_WORKERS` environment variable,
+    /// falling back to the machine's available parallelism; no disk cache.
+    ///
+    /// # Panics
+    /// Panics if `CI_WORKERS` is set but not a positive integer — a
+    /// malformed request must not silently degrade to a default.
+    #[must_use]
+    pub fn from_env() -> EngineOptions {
+        let workers = match std::env::var("CI_WORKERS") {
+            Ok(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("CI_WORKERS must be a positive integer, got `{v}`")),
+            Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        };
+        EngineOptions {
+            workers,
+            cache_dir: None,
+        }
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions::from_env()
+    }
+}
+
+struct Timing {
+    /// `(canonical spec, wall time)` per computed cell, in completion order.
+    cells: Vec<(String, Duration)>,
+}
+
+/// Parallel, memoizing executor of simulation [cells](CellSpec).
+///
+/// Every distinct cell is computed exactly once per engine (and, with a
+/// cache directory, once per *cache*, across process runs); all tables and
+/// figures referencing the cell share the result. Cell outputs are pure
+/// functions of their specs, so the rendered experiment output is
+/// byte-identical for every worker count.
+pub struct Engine {
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+    cells: Memo<String, CellOutput>,
+    shared: SharedInputs,
+    timing: Mutex<Timing>,
+    computed: AtomicU64,
+    hits: AtomicU64,
+    corrupt: AtomicU64,
+    loaded: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with explicit options. Loads the persisted cache (if any)
+    /// tolerantly: unreadable files are treated as empty and corrupt lines
+    /// are dropped and counted, never trusted.
+    #[must_use]
+    pub fn new(opts: EngineOptions) -> Engine {
+        let e = Engine {
+            workers: opts.workers.max(1),
+            cache_dir: opts.cache_dir,
+            cells: Memo::new(),
+            shared: SharedInputs::new(),
+            timing: Mutex::new(Timing { cells: Vec::new() }),
+            computed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+        };
+        if let Some(dir) = e.cache_dir.clone() {
+            e.load_cache(&dir.join(CACHE_FILE));
+        }
+        e
+    }
+
+    /// A single-threaded engine with no disk cache — the deterministic
+    /// reference configuration used by tests.
+    #[must_use]
+    pub fn serial() -> Engine {
+        Engine::new(EngineOptions {
+            workers: 1,
+            cache_dir: None,
+        })
+    }
+
+    /// An in-memory engine with `workers` threads.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine::new(EngineOptions {
+            workers,
+            cache_dir: None,
+        })
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cells computed by simulation in this process.
+    #[must_use]
+    pub fn cells_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Cell requests served from memory (or the loaded disk cache).
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt lines rejected while loading the disk cache.
+    #[must_use]
+    pub fn corrupt_lines(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Cells loaded from the disk cache.
+    #[must_use]
+    pub fn cells_loaded(&self) -> u64 {
+        self.loaded.load(Ordering::Relaxed)
+    }
+
+    /// Compute (or fetch) every distinct cell in `specs`, using the
+    /// work-stealing pool at the configured width. Later lookups of these
+    /// cells are pure cache hits, so callers can assemble tables serially
+    /// and deterministically afterwards.
+    pub fn prefetch(&self, specs: &[CellSpec]) {
+        let mut seen = HashSet::new();
+        let todo: Vec<CellSpec> = specs
+            .iter()
+            .filter(|s| seen.insert(s.canonical()) && self.cells.peek(&s.canonical()).is_none())
+            .cloned()
+            .collect();
+        let jobs: Vec<_> = todo
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let _ = self.cell(&spec);
+                }
+            })
+            .collect();
+        run_batch(self.workers, jobs);
+    }
+
+    /// The output of one cell, computed on the calling thread if missing.
+    #[must_use]
+    pub fn cell(&self, spec: &CellSpec) -> CellOutput {
+        let canonical = spec.canonical();
+        let started = Instant::now();
+        let (out, computed) = self
+            .cells
+            .get_or_compute(canonical.clone(), || spec.compute(&self.shared));
+        if computed {
+            let wall = started.elapsed();
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            self.timing.lock().unwrap().cells.push((canonical, wall));
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Detailed-pipeline statistics for one configuration.
+    #[must_use]
+    pub fn stats(
+        &self,
+        workload: Workload,
+        config: PipelineConfig,
+        instructions: u64,
+        seed: u64,
+    ) -> Stats {
+        self.cell(&CellSpec::Detailed {
+            workload,
+            config,
+            instructions,
+            seed,
+        })
+        .stats()
+        .clone()
+    }
+
+    /// Detailed-pipeline statistics plus the metrics probe.
+    #[must_use]
+    pub fn probed(
+        &self,
+        workload: Workload,
+        config: PipelineConfig,
+        instructions: u64,
+        seed: u64,
+    ) -> (Stats, MetricsProbe) {
+        let out = self.cell(&CellSpec::Detailed {
+            workload,
+            config,
+            instructions,
+            seed,
+        });
+        (out.stats().clone(), out.probe().clone())
+    }
+
+    /// Idealized-model result for one configuration.
+    #[must_use]
+    pub fn ideal(
+        &self,
+        workload: Workload,
+        model: ModelKind,
+        window: usize,
+        instructions: u64,
+        seed: u64,
+    ) -> IdealResult {
+        match self.cell(&CellSpec::Ideal {
+            workload,
+            model,
+            window,
+            instructions,
+            seed,
+        }) {
+            CellOutput::Ideal(r) => r,
+            other => panic!("ideal cell produced {other:?}"),
+        }
+    }
+
+    /// Study-input summary `(trace length, predictions, mispredictions)`.
+    #[must_use]
+    pub fn study(&self, workload: Workload, instructions: u64, seed: u64) -> (u64, u64, u64) {
+        match self.cell(&CellSpec::Study {
+            workload,
+            instructions,
+            seed,
+        }) {
+            CellOutput::Study {
+                len,
+                predictions,
+                mispredictions,
+            } => (len, predictions, mispredictions),
+            other => panic!("study cell produced {other:?}"),
+        }
+    }
+
+    /// Per-cell timing and cache counters as a `ci-obs` [`Registry`]:
+    /// an aggregate `cell_wall_us` histogram, one `cell_us.<key> = micros`
+    /// counter per computed cell, and `cells_*` cache counters. Export with
+    /// [`Registry::to_jsonl`].
+    #[must_use]
+    pub fn timing_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        r.inc("cells_computed", self.cells_computed());
+        r.inc("cells_cache_hits", self.cache_hits());
+        r.inc("cells_loaded_from_disk", self.cells_loaded());
+        r.inc("cache_corrupt_lines", self.corrupt_lines());
+        let bounds: Vec<u64> = (0..=24).map(|p| 1u64 << p).collect(); // 1us..16s
+        let timing = self.timing.lock().unwrap();
+        for (spec, wall) in &timing.cells {
+            let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+            r.observe("cell_wall_us", &bounds, us);
+            r.inc(
+                &format!("cell_us.{:016x}", fnv1a(spec.as_bytes())),
+                us.max(1),
+            );
+        }
+        r
+    }
+
+    /// Human-readable timing summary: totals plus the `n` slowest cells.
+    #[must_use]
+    pub fn timing_summary(&self, n: usize) -> String {
+        let timing = self.timing.lock().unwrap();
+        let total: Duration = timing.cells.iter().map(|(_, d)| *d).sum();
+        let mut slowest: Vec<&(String, Duration)> = timing.cells.iter().collect();
+        slowest.sort_by_key(|&&(_, wall)| std::cmp::Reverse(wall));
+        let mut out = format!(
+            "cells: {} computed ({:.2}s simulated), {} cache hits, {} loaded from disk, {} corrupt lines, {} workers\n",
+            timing.cells.len(),
+            total.as_secs_f64(),
+            self.cache_hits(),
+            self.cells_loaded(),
+            self.corrupt_lines(),
+            self.workers,
+        );
+        for (spec, wall) in slowest.into_iter().take(n) {
+            out.push_str(&format!(
+                "  {:>9.1}ms  {}\n",
+                wall.as_secs_f64() * 1e3,
+                spec
+            ));
+        }
+        out
+    }
+
+    fn load_cache(&self, path: &Path) {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return; // first run: nothing persisted yet
+        };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_cache_line(line) {
+                Some((spec, output)) => {
+                    self.cells.seed(spec, output);
+                    self.loaded.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Persist every computed cell to `<cache-dir>/cells.jsonl`, atomically
+    /// (write-to-temp then rename) and sorted by spec so the file is
+    /// deterministic. A no-op without a cache directory.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (directory creation, write, rename).
+    pub fn save_cache(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.cache_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut entries = self.cells.snapshot();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut buf = String::new();
+        for (spec, output) in entries {
+            buf.push_str(&render_cache_line(&spec, &output));
+            buf.push('\n');
+        }
+        let path = dir.join(CACHE_FILE);
+        let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(buf.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+/// Render one cache line: spec, content-hash key, output payload, and a
+/// checksum over the rendered payload so tampered values are detected.
+#[must_use]
+pub fn render_cache_line(spec: &str, output: &CellOutput) -> String {
+    let payload = output_to_json(output);
+    let rendered = payload.render();
+    let line = JsonValue::obj([
+        (
+            "key",
+            JsonValue::Str(format!("{:016x}", fnv1a(spec.as_bytes()))),
+        ),
+        ("spec", JsonValue::Str(spec.to_owned())),
+        (
+            "check",
+            JsonValue::Str(format!("{:016x}", fnv1a(rendered.as_bytes()))),
+        ),
+        ("output", payload),
+    ]);
+    line.render()
+}
+
+/// Parse and validate one cache line; `None` if the line is corrupt in any
+/// way (unparsable JSON, key/spec mismatch, payload checksum mismatch, or a
+/// malformed output object).
+#[must_use]
+pub fn parse_cache_line(line: &str) -> Option<(String, CellOutput)> {
+    let v = parse(line).ok()?;
+    let spec = v.get("spec")?.as_str()?.to_owned();
+    let key = v.get("key")?.as_str()?;
+    if format!("{:016x}", fnv1a(spec.as_bytes())) != key {
+        return None;
+    }
+    let payload = v.get("output")?;
+    let check = v.get("check")?.as_str()?;
+    if format!("{:016x}", fnv1a(payload.render().as_bytes())) != check {
+        return None;
+    }
+    let output = output_from_json(payload)?;
+    Some((spec, output))
+}

@@ -1,0 +1,287 @@
+//! Lossless JSON (de)serialization of [`CellOutput`] for the on-disk cache.
+//!
+//! Every integer is rendered as a *decimal string*, not a JSON number: the
+//! hand-rolled parser in `ci-obs` stores numbers as `f64`, which would
+//! silently round counters and hash keys above 2^53 (the same reason the
+//! difftest artifacts hex-encode seeds). Strings round-trip exactly.
+//!
+//! The deserializers are deliberately paranoid: any missing field, type
+//! mismatch, unparsable integer, or structurally inconsistent histogram
+//! yields `None`, which the cache layer treats as a corrupt line — rejected,
+//! recomputed, and rewritten, never trusted.
+
+use crate::cell::CellOutput;
+use ci_bpred::TfrStats;
+use ci_core::Stats;
+use ci_obs::json::JsonValue;
+use ci_obs::{EventCounters, Histogram, MetricsProbe};
+
+fn u(v: u64) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+fn u128s(v: u128) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+fn get_u64(obj: &JsonValue, key: &str) -> Option<u64> {
+    obj.get(key)?.as_str()?.parse().ok()
+}
+
+fn get_u128(obj: &JsonValue, key: &str) -> Option<u128> {
+    obj.get(key)?.as_str()?.parse().ok()
+}
+
+fn arr_u64(values: &[u64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| u(v)).collect())
+}
+
+fn get_arr_u64(obj: &JsonValue, key: &str) -> Option<Vec<u64>> {
+    obj.get(key)?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str()?.parse().ok())
+        .collect()
+}
+
+fn tfr_to_json(t: &TfrStats) -> JsonValue {
+    JsonValue::Arr(
+        t.entries()
+            .into_iter()
+            .map(|(k, tc, fc)| JsonValue::Arr(vec![u(k), u(tc), u(fc)]))
+            .collect(),
+    )
+}
+
+fn tfr_from_json(v: &JsonValue) -> Option<TfrStats> {
+    let entries: Option<Vec<(u64, u64, u64)>> = v
+        .as_array()?
+        .iter()
+        .map(|e| {
+            let e = e.as_array()?;
+            if e.len() != 3 {
+                return None;
+            }
+            Some((
+                e[0].as_str()?.parse().ok()?,
+                e[1].as_str()?.parse().ok()?,
+                e[2].as_str()?.parse().ok()?,
+            ))
+        })
+        .collect();
+    Some(TfrStats::from_entries(entries?))
+}
+
+fn hist_to_json(h: &Histogram) -> JsonValue {
+    let (bounds, counts, total, sum, min, max) = h.raw_parts();
+    JsonValue::obj([
+        ("bounds", arr_u64(bounds)),
+        ("counts", arr_u64(counts)),
+        ("total", u(total)),
+        ("sum", u128s(sum)),
+        ("min", u(min)),
+        ("max", u(max)),
+    ])
+}
+
+fn hist_from_json(v: &JsonValue) -> Option<Histogram> {
+    Histogram::from_raw_parts(
+        &get_arr_u64(v, "bounds")?,
+        &get_arr_u64(v, "counts")?,
+        get_u64(v, "total")?,
+        get_u128(v, "sum")?,
+        get_u64(v, "min")?,
+        get_u64(v, "max")?,
+    )
+}
+
+fn stats_to_json(s: &Stats) -> JsonValue {
+    JsonValue::obj([
+        ("cycles", u(s.cycles)),
+        ("retired", u(s.retired)),
+        ("predictions", u(s.predictions)),
+        ("arch_mispredictions", u(s.arch_mispredictions)),
+        ("recoveries", u(s.recoveries)),
+        ("reconverged", u(s.reconverged)),
+        ("removed", u(s.removed)),
+        ("inserted", u(s.inserted)),
+        ("ci_instructions", u(s.ci_instructions)),
+        ("ci_renamed", u(s.ci_renamed)),
+        ("ci_evicted", u(s.ci_evicted)),
+        ("preemptions", u(s.preemptions)),
+        ("restart_cycles", u(s.restart_cycles)),
+        ("fetch_saved", u(s.fetch_saved)),
+        ("work_saved", u(s.work_saved)),
+        ("work_discarded", u(s.work_discarded)),
+        ("only_fetched", u(s.only_fetched)),
+        ("issues", u(s.issues)),
+        ("mem_violation_reissues", u(s.mem_violation_reissues)),
+        ("reg_violation_reissues", u(s.reg_violation_reissues)),
+        ("true_mispredictions", u(s.true_mispredictions)),
+        ("false_mispredictions", u(s.false_mispredictions)),
+        ("tfr_static", tfr_to_json(&s.tfr_static)),
+        ("tfr_dynamic_pc", tfr_to_json(&s.tfr_dynamic_pc)),
+        ("tfr_dynamic_xor", tfr_to_json(&s.tfr_dynamic_xor)),
+        ("cache_hits", u(s.cache_hits)),
+        ("cache_misses", u(s.cache_misses)),
+    ])
+}
+
+fn stats_from_json(v: &JsonValue) -> Option<Stats> {
+    Some(Stats {
+        cycles: get_u64(v, "cycles")?,
+        retired: get_u64(v, "retired")?,
+        predictions: get_u64(v, "predictions")?,
+        arch_mispredictions: get_u64(v, "arch_mispredictions")?,
+        recoveries: get_u64(v, "recoveries")?,
+        reconverged: get_u64(v, "reconverged")?,
+        removed: get_u64(v, "removed")?,
+        inserted: get_u64(v, "inserted")?,
+        ci_instructions: get_u64(v, "ci_instructions")?,
+        ci_renamed: get_u64(v, "ci_renamed")?,
+        ci_evicted: get_u64(v, "ci_evicted")?,
+        preemptions: get_u64(v, "preemptions")?,
+        restart_cycles: get_u64(v, "restart_cycles")?,
+        fetch_saved: get_u64(v, "fetch_saved")?,
+        work_saved: get_u64(v, "work_saved")?,
+        work_discarded: get_u64(v, "work_discarded")?,
+        only_fetched: get_u64(v, "only_fetched")?,
+        issues: get_u64(v, "issues")?,
+        mem_violation_reissues: get_u64(v, "mem_violation_reissues")?,
+        reg_violation_reissues: get_u64(v, "reg_violation_reissues")?,
+        true_mispredictions: get_u64(v, "true_mispredictions")?,
+        false_mispredictions: get_u64(v, "false_mispredictions")?,
+        tfr_static: tfr_from_json(v.get("tfr_static")?)?,
+        tfr_dynamic_pc: tfr_from_json(v.get("tfr_dynamic_pc")?)?,
+        tfr_dynamic_xor: tfr_from_json(v.get("tfr_dynamic_xor")?)?,
+        cache_hits: get_u64(v, "cache_hits")?,
+        cache_misses: get_u64(v, "cache_misses")?,
+    })
+}
+
+fn probe_to_json(p: &MetricsProbe) -> JsonValue {
+    JsonValue::obj([
+        ("counters", arr_u64(p.counters.raw_counts())),
+        ("restart_length", hist_to_json(&p.restart_length)),
+        ("restart_inserted", hist_to_json(&p.restart_inserted)),
+        ("recon_distance", hist_to_json(&p.recon_distance)),
+        ("occupancy", hist_to_json(&p.occupancy)),
+        ("reissues", hist_to_json(&p.reissues)),
+    ])
+}
+
+fn probe_from_json(v: &JsonValue) -> Option<MetricsProbe> {
+    Some(MetricsProbe {
+        counters: EventCounters::from_raw_counts(&get_arr_u64(v, "counters")?)?,
+        restart_length: hist_from_json(v.get("restart_length")?)?,
+        restart_inserted: hist_from_json(v.get("restart_inserted")?)?,
+        recon_distance: hist_from_json(v.get("recon_distance")?)?,
+        occupancy: hist_from_json(v.get("occupancy")?)?,
+        reissues: hist_from_json(v.get("reissues")?)?,
+    })
+}
+
+/// Serialize a cell output. Round-trips exactly through
+/// [`output_from_json`].
+#[must_use]
+pub fn output_to_json(o: &CellOutput) -> JsonValue {
+    match o {
+        CellOutput::Detailed { stats, probe } => JsonValue::obj([
+            ("kind", JsonValue::from("detailed")),
+            ("stats", stats_to_json(stats)),
+            ("probe", probe_to_json(probe)),
+        ]),
+        CellOutput::Ideal(r) => JsonValue::obj([
+            ("kind", JsonValue::from("ideal")),
+            ("cycles", u(r.cycles)),
+            ("retired", u(r.retired)),
+            ("mispredictions", u(r.mispredictions)),
+            ("wrong_path_fetched", u(r.wrong_path_fetched)),
+            ("evictions", u(r.evictions)),
+        ]),
+        CellOutput::Study {
+            len,
+            predictions,
+            mispredictions,
+        } => JsonValue::obj([
+            ("kind", JsonValue::from("study")),
+            ("len", u(*len)),
+            ("predictions", u(*predictions)),
+            ("mispredictions", u(*mispredictions)),
+        ]),
+    }
+}
+
+/// Deserialize a cell output; `None` on any malformed input.
+#[must_use]
+pub fn output_from_json(v: &JsonValue) -> Option<CellOutput> {
+    match v.get("kind")?.as_str()? {
+        "detailed" => Some(CellOutput::Detailed {
+            stats: stats_from_json(v.get("stats")?)?,
+            probe: probe_from_json(v.get("probe")?)?,
+        }),
+        "ideal" => Some(CellOutput::Ideal(ci_ideal::IdealResult {
+            cycles: get_u64(v, "cycles")?,
+            retired: get_u64(v, "retired")?,
+            mispredictions: get_u64(v, "mispredictions")?,
+            wrong_path_fetched: get_u64(v, "wrong_path_fetched")?,
+            evictions: get_u64(v, "evictions")?,
+        })),
+        "study" => Some(CellOutput::Study {
+            len: get_u64(v, "len")?,
+            predictions: get_u64(v, "predictions")?,
+            mispredictions: get_u64(v, "mispredictions")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_round_trips_including_overflow_and_extremes() {
+        let mut h = Histogram::exponential(4);
+        for v in [0, 1, 3, 17, u64::MAX] {
+            h.record(v);
+        }
+        let back = hist_from_json(&hist_to_json(&h)).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let h = Histogram::linear(16, 4);
+        assert_eq!(h, hist_from_json(&hist_to_json(&h)).unwrap());
+    }
+
+    #[test]
+    fn tfr_round_trips_large_keys() {
+        let mut t = TfrStats::new();
+        t.record(u64::MAX - 1, true);
+        t.record(u64::MAX - 1, false);
+        t.record(3, false);
+        assert_eq!(t, tfr_from_json(&tfr_to_json(&t)).unwrap());
+    }
+
+    #[test]
+    fn inconsistent_histogram_parts_are_rejected() {
+        let mut bad = hist_to_json(&Histogram::linear(1, 2));
+        // Corrupt the total so it disagrees with the counts.
+        if let JsonValue::Obj(pairs) = &mut bad {
+            for (k, v) in pairs {
+                if k == "total" {
+                    *v = JsonValue::Str("999".into());
+                }
+            }
+        }
+        assert!(hist_from_json(&bad).is_none());
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let v = JsonValue::obj([("kind", JsonValue::from("nonsense"))]);
+        assert!(output_from_json(&v).is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! A hand-rolled work-stealing batch executor on `std::thread`.
+//!
+//! The container has no crates.io access, so this is deliberately std-only
+//! (matching the vendored `proptest`/`criterion` shims). The model is batch
+//! execution: all jobs are known up front, distributed round-robin across
+//! per-worker deques, and each worker pops from the *front* of its own deque
+//! (preserving locality and submission order) while stealing from the *back*
+//! of the busiest other deque when it runs dry. Workers exit when every
+//! deque is empty; [`run_batch`] returns once all jobs have finished.
+//!
+//! Determinism note: jobs may run in any order and on any thread, so callers
+//! must only submit jobs whose *results* are order-independent (the memoized
+//! simulation cells are — each cell is a pure function of its spec).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run every job, using up to `workers` OS threads.
+///
+/// `workers <= 1` (or a batch of one job) degenerates to serial in-order
+/// execution on the calling thread — the `--workers 1` reference mode.
+///
+/// # Panics
+/// A panicking job aborts the batch: the panic is propagated to the caller
+/// once the surviving workers drain the remaining jobs.
+pub fn run_batch<F: FnOnce() + Send>(workers: usize, jobs: Vec<F>) {
+    if workers <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let n = workers.min(jobs.len());
+    let deques: Vec<Mutex<VecDeque<F>>> = (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % n].lock().unwrap().push_back(job);
+    }
+    std::thread::scope(|s| {
+        let deques = &deques;
+        for me in 0..n {
+            s.spawn(move || worker(me, deques));
+        }
+    });
+}
+
+fn worker<F: FnOnce()>(me: usize, deques: &[Mutex<VecDeque<F>>]) {
+    loop {
+        // Own work first, oldest first.
+        let own = deques[me].lock().unwrap().pop_front();
+        if let Some(job) = own {
+            job();
+            continue;
+        }
+        // Steal from the fullest victim, youngest first, so two thieves
+        // spread across different victims instead of racing on one.
+        let victim = (0..deques.len())
+            .filter(|&v| v != me)
+            .max_by_key(|&v| deques[v].lock().unwrap().len());
+        let stolen = victim.and_then(|v| deques[v].lock().unwrap().pop_back());
+        match stolen {
+            Some(job) => job(),
+            None => return, // every deque observed empty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        for workers in [1, 2, 4, 8] {
+            let hits = AtomicU64::new(0);
+            let jobs: Vec<_> = (0..97u64)
+                .map(|i| {
+                    let hits = &hits;
+                    move || {
+                        hits.fetch_add(i + 1, Ordering::SeqCst);
+                    }
+                })
+                .collect();
+            run_batch(workers, jobs);
+            assert_eq!(hits.load(Ordering::SeqCst), (1..=97).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn serial_mode_preserves_submission_order() {
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..10)
+            .map(|i| {
+                let order = &order;
+                move || order.lock().unwrap().push(i)
+            })
+            .collect();
+        run_batch(1, jobs);
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let hits = AtomicU64::new(0);
+        let jobs: Vec<_> = (0..3)
+            .map(|_| {
+                let hits = &hits;
+                move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        run_batch(64, jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        run_batch(4, Vec::<fn()>::new());
+    }
+}

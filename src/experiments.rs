@@ -6,20 +6,35 @@
 //! (see `EXPERIMENTS.md` at the workspace root). The regeneration binaries
 //! in `crates/bench/src/bin/` are thin wrappers over these functions.
 //!
+//! # Cells and the engine
+//!
+//! Every builder is split into two phases: a `*_cells` function *declares*
+//! the simulation [cells](CellSpec) the table needs — (workload, config,
+//! budget, seed) tuples — and the builder itself *assembles* rows from the
+//! memoized results held by an [`Engine`]. The engine computes each
+//! distinct cell exactly once (on `--workers N` threads) and shares it
+//! across tables: the window-256 CI run, for example, feeds Tables 2-4,
+//! Figure 8 and the distributions table but is simulated a single time per
+//! run. Because cells are pure functions of their specs and assembly is
+//! serial, rendered output is byte-identical for every worker count.
+//!
 //! Absolute IPC numbers differ from the paper (different ISA, workload
 //! substitutes and memory system); the comparisons of interest — who wins,
 //! by roughly what factor, where the crossovers are — are the reproduction
 //! targets.
 
-use ci_core::{
-    simulate, simulate_probed, CompletionModel, PipelineConfig, Preemption, ReconStrategy,
-    RepredictMode, Stats,
-};
-use ci_ideal::{simulate as simulate_ideal, IdealConfig, ModelKind, StudyInput};
-use ci_isa::Program;
+use ci_core::{CompletionModel, PipelineConfig, Preemption, ReconStrategy, RepredictMode, Stats};
+use ci_ideal::ModelKind;
 use ci_obs::{Histogram, MetricsProbe};
 use ci_report::{f, pct, Table};
-use ci_workloads::{Workload, WorkloadParams};
+use ci_runner::{CellSpec, Engine};
+use ci_workloads::Workload;
+
+/// The window sweep of Figure 3.
+pub const FIGURE3_WINDOWS: [usize; 5] = [32, 64, 128, 256, 512];
+
+/// The window sweep of Figures 5 and 6.
+pub const FIGURE5_WINDOWS: [usize; 3] = [128, 256, 512];
 
 /// How much dynamic work each experiment simulates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,22 +56,74 @@ impl Scale {
         }
     }
 
-    /// Read the scale from `CI_REPRO_INSTRUCTIONS` / `CI_REPRO_SEED`
-    /// environment variables, falling back to the default.
-    #[must_use]
-    pub fn from_env() -> Scale {
+    /// Build a scale from the raw textual values of the
+    /// `CI_REPRO_INSTRUCTIONS` / `CI_REPRO_SEED` environment variables
+    /// (`None` = unset, keep the default). The instruction count must be a
+    /// positive decimal integer; the seed accepts decimal or `0x`-prefixed
+    /// hex.
+    ///
+    /// # Errors
+    /// A malformed value is an error, never a silent fallback — a typo'd
+    /// scale would otherwise quietly run the wrong experiment.
+    pub fn parse(instructions: Option<&str>, seed: Option<&str>) -> Result<Scale, String> {
         let mut s = Scale::default_scale();
-        if let Some(v) = std::env::var_os("CI_REPRO_INSTRUCTIONS") {
-            if let Ok(n) = v.to_string_lossy().parse() {
-                s.instructions = n;
-            }
+        if let Some(v) = instructions {
+            s.instructions = v
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!(
+                        "CI_REPRO_INSTRUCTIONS: `{v}` is not a valid instruction count \
+                         (expected a positive decimal integer)"
+                    )
+                })?;
         }
-        if let Some(v) = std::env::var_os("CI_REPRO_SEED") {
-            if let Ok(n) = v.to_string_lossy().parse() {
-                s.seed = n;
-            }
+        if let Some(v) = seed {
+            let t = v.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => t.parse::<u64>().ok(),
+            };
+            s.seed = parsed.ok_or_else(|| {
+                format!(
+                    "CI_REPRO_SEED: `{v}` is not a valid seed \
+                     (expected a decimal or 0x-prefixed hex integer)"
+                )
+            })?;
         }
-        s
+        Ok(s)
+    }
+
+    /// Read the scale from the `CI_REPRO_INSTRUCTIONS` / `CI_REPRO_SEED`
+    /// environment variables, falling back to the default when unset.
+    ///
+    /// # Errors
+    /// Malformed (or non-UTF-8) values are rejected with a descriptive
+    /// message — see [`Scale::parse`].
+    pub fn from_env() -> Result<Scale, String> {
+        let read = |name: &str| -> Result<Option<String>, String> {
+            match std::env::var(name) {
+                Ok(v) => Ok(Some(v)),
+                Err(std::env::VarError::NotPresent) => Ok(None),
+                Err(std::env::VarError::NotUnicode(_)) => {
+                    Err(format!("{name}: value is not valid UTF-8"))
+                }
+            }
+        };
+        let instructions = read("CI_REPRO_INSTRUCTIONS")?;
+        let seed = read("CI_REPRO_SEED")?;
+        Scale::parse(instructions.as_deref(), seed.as_deref())
+    }
+
+    /// [`Scale::from_env`] for binaries: print the error and exit 2.
+    #[must_use]
+    pub fn from_env_or_exit() -> Scale {
+        Scale::from_env().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 }
 
@@ -66,29 +133,60 @@ impl Default for Scale {
     }
 }
 
-fn program_for(w: Workload, scale: &Scale) -> Program {
-    w.build(&WorkloadParams {
-        scale: w.scale_for(scale.instructions),
+/// A detailed-pipeline cell at this scale.
+fn dcell(w: Workload, config: PipelineConfig, scale: &Scale) -> CellSpec {
+    CellSpec::Detailed {
+        workload: w,
+        config,
+        instructions: scale.instructions,
         seed: scale.seed,
-    })
+    }
 }
 
-fn run(p: &Program, cfg: PipelineConfig, scale: &Scale) -> Stats {
-    simulate(p, cfg, scale.instructions).expect("workloads are valid programs")
+/// An idealized-model cell at this scale.
+fn icell(w: Workload, model: ModelKind, window: usize, scale: &Scale) -> CellSpec {
+    CellSpec::Ideal {
+        workload: w,
+        model,
+        window,
+        instructions: scale.instructions,
+        seed: scale.seed,
+    }
 }
 
-/// Run with a [`MetricsProbe`] attached, for the tables that report
-/// distributions (restart-length quantiles, reissue maxima) on top of the
-/// aggregate [`Stats`].
-fn run_probed(p: &Program, cfg: PipelineConfig, scale: &Scale) -> (Stats, MetricsProbe) {
-    simulate_probed(p, cfg, scale.instructions, MetricsProbe::new())
-        .expect("workloads are valid programs")
+/// A study-input summary cell at this scale.
+fn scell(w: Workload, scale: &Scale) -> CellSpec {
+    CellSpec::Study {
+        workload: w,
+        instructions: scale.instructions,
+        seed: scale.seed,
+    }
+}
+
+fn stats(eng: &Engine, w: Workload, config: PipelineConfig, scale: &Scale) -> Stats {
+    eng.stats(w, config, scale.instructions, scale.seed)
+}
+
+fn probed(
+    eng: &Engine,
+    w: Workload,
+    config: PipelineConfig,
+    scale: &Scale,
+) -> (Stats, MetricsProbe) {
+    eng.probed(w, config, scale.instructions, scale.seed)
+}
+
+/// Cells for [`table1`].
+#[must_use]
+pub fn table1_cells(scale: &Scale) -> Vec<CellSpec> {
+    Workload::ALL.into_iter().map(|w| scell(w, scale)).collect()
 }
 
 /// Table 1: benchmark information (dynamic instruction counts and
 /// misprediction rates under the paper's predictor configuration).
 #[must_use]
-pub fn table1(scale: &Scale) -> Table {
+pub fn table1(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&table1_cells(scale));
     let mut t = Table::new("TABLE 1. Benchmark information.");
     t.headers(&[
         "benchmark",
@@ -98,21 +196,49 @@ pub fn table1(scale: &Scale) -> Table {
     ]);
     let paper = ["8.3%", "16.7%", "9.1%", "6.8%", "1.4%"];
     for (w, paper_rate) in Workload::ALL.into_iter().zip(paper) {
-        let p = program_for(w, scale);
-        let input = StudyInput::build(&p, scale.instructions).expect("valid program");
+        let (len, predictions, mispredictions) = eng.study(w, scale.instructions, scale.seed);
+        let rate = if predictions == 0 {
+            0.0
+        } else {
+            mispredictions as f64 / predictions as f64
+        };
         t.row(vec![
             w.name().to_owned(),
-            input.len().to_string(),
-            pct(input.misprediction_rate()),
+            len.to_string(),
+            pct(rate),
             paper_rate.to_owned(),
         ]);
     }
     t
 }
 
+const FIGURE3_MODELS: [ModelKind; 6] = [
+    ModelKind::Oracle,
+    ModelKind::NwrNfd,
+    ModelKind::NwrFd,
+    ModelKind::WrNfd,
+    ModelKind::WrFd,
+    ModelKind::Base,
+];
+
+/// Cells for [`figure3`] over `windows`.
+#[must_use]
+pub fn figure3_cells(scale: &Scale, windows: &[usize]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        for &window in windows {
+            for model in FIGURE3_MODELS {
+                cells.push(icell(w, model, window, scale));
+            }
+        }
+    }
+    cells
+}
+
 /// Figure 3: IPC of the six idealized models as a function of window size.
 #[must_use]
-pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
+pub fn figure3(eng: &Engine, scale: &Scale, windows: &[usize]) -> Table {
+    eng.prefetch(&figure3_cells(scale, windows));
     let mut t = Table::new("FIGURE 3. Performance of the six control independence models (IPC).");
     t.headers(&[
         "benchmark",
@@ -125,26 +251,10 @@ pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
         "base",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let input = StudyInput::build(&p, scale.instructions).expect("valid program");
         for &window in windows {
             let mut row = vec![w.name().to_owned(), window.to_string()];
-            for model in [
-                ModelKind::Oracle,
-                ModelKind::NwrNfd,
-                ModelKind::NwrFd,
-                ModelKind::WrNfd,
-                ModelKind::WrFd,
-                ModelKind::Base,
-            ] {
-                let r = simulate_ideal(
-                    &input,
-                    &IdealConfig {
-                        model,
-                        window,
-                        ..IdealConfig::default()
-                    },
-                );
+            for model in FIGURE3_MODELS {
+                let r = eng.ideal(w, model, window, scale.instructions, scale.seed);
                 row.push(f(r.ipc(), 2));
             }
             t.row(row);
@@ -153,20 +263,34 @@ pub fn figure3(scale: &Scale, windows: &[usize]) -> Table {
     t
 }
 
+/// Cells for [`figure5_6`] over `windows`.
+#[must_use]
+pub fn figure5_6_cells(scale: &Scale, windows: &[usize]) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        for &window in windows {
+            cells.push(dcell(w, PipelineConfig::base(window), scale));
+            cells.push(dcell(w, PipelineConfig::ci(window), scale));
+            cells.push(dcell(w, PipelineConfig::ci_instant(window), scale));
+        }
+    }
+    cells
+}
+
 /// Figures 5 and 6: BASE vs CI vs CI-I IPC for several window sizes, and the
 /// percentage improvement of CI over BASE.
 #[must_use]
-pub fn figure5_6(scale: &Scale, windows: &[usize]) -> (Table, Table) {
+pub fn figure5_6(eng: &Engine, scale: &Scale, windows: &[usize]) -> (Table, Table) {
+    eng.prefetch(&figure5_6_cells(scale, windows));
     let mut ipc = Table::new("FIGURE 5. Performance with and without control independence (IPC).");
     ipc.headers(&["benchmark", "window", "BASE", "CI", "CI-I"]);
     let mut imp = Table::new("FIGURE 6. Percent improvement in IPC due to control independence.");
     imp.headers(&["benchmark", "window", "CI vs BASE", "CI-I vs CI"]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
         for &window in windows {
-            let b = run(&p, PipelineConfig::base(window), scale);
-            let c = run(&p, PipelineConfig::ci(window), scale);
-            let i = run(&p, PipelineConfig::ci_instant(window), scale);
+            let b = stats(eng, w, PipelineConfig::base(window), scale);
+            let c = stats(eng, w, PipelineConfig::ci(window), scale);
+            let i = stats(eng, w, PipelineConfig::ci_instant(window), scale);
             ipc.row(vec![
                 w.name().to_owned(),
                 window.to_string(),
@@ -185,9 +309,19 @@ pub fn figure5_6(scale: &Scale, windows: &[usize]) -> (Table, Table) {
     (ipc, imp)
 }
 
+/// Cells for [`table2`].
+#[must_use]
+pub fn table2_cells(scale: &Scale) -> Vec<CellSpec> {
+    Workload::ALL
+        .into_iter()
+        .map(|w| dcell(w, PipelineConfig::ci(256), scale))
+        .collect()
+}
+
 /// Table 2: restart/redispatch sequence statistics (window 256).
 #[must_use]
-pub fn table2(scale: &Scale) -> Table {
+pub fn table2(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&table2_cells(scale));
     let mut t = Table::new("TABLE 2. Statistics for restart/redispatch sequences (window 256).");
     t.headers(&[
         "benchmark",
@@ -200,8 +334,7 @@ pub fn table2(scale: &Scale) -> Table {
         "restart p90",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let (s, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
+        let (s, probe) = probed(eng, w, PipelineConfig::ci(256), scale);
         t.row(vec![
             w.name().to_owned(),
             pct(s.reconvergence_rate()),
@@ -216,10 +349,17 @@ pub fn table2(scale: &Scale) -> Table {
     t
 }
 
+/// Cells for [`table3`].
+#[must_use]
+pub fn table3_cells(scale: &Scale) -> Vec<CellSpec> {
+    table2_cells(scale) // the same window-256 CI runs
+}
+
 /// Table 3: work saved by control independence, as fractions of retired
 /// instructions (window 256).
 #[must_use]
-pub fn table3(scale: &Scale) -> Table {
+pub fn table3(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&table3_cells(scale));
     let mut t = Table::new("TABLE 3. Work saved by exploiting control independence (window 256).");
     t.headers(&[
         "benchmark",
@@ -229,8 +369,7 @@ pub fn table3(scale: &Scale) -> Table {
         "had only fetched",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let s = run(&p, PipelineConfig::ci(256), scale);
+        let s = stats(eng, w, PipelineConfig::ci(256), scale);
         let (fs, ws, wd, of) = s.work_saved_fractions();
         t.row(vec![
             w.name().to_owned(),
@@ -243,10 +382,22 @@ pub fn table3(scale: &Scale) -> Table {
     t
 }
 
+/// Cells for [`table4`].
+#[must_use]
+pub fn table4_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.push(dcell(w, PipelineConfig::base(256), scale));
+        cells.push(dcell(w, PipelineConfig::ci(256), scale));
+    }
+    cells
+}
+
 /// Table 4: instruction issues per retired instruction, with and without
 /// control independence (window 256).
 #[must_use]
-pub fn table4(scale: &Scale) -> Table {
+pub fn table4(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&table4_cells(scale));
     let mut t = Table::new("TABLE 4. Instruction issues per retired instruction (window 256).");
     t.headers(&[
         "benchmark",
@@ -258,9 +409,8 @@ pub fn table4(scale: &Scale) -> Table {
         "CI max issues",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let b = run(&p, PipelineConfig::base(256), scale);
-        let (c, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
+        let b = stats(eng, w, PipelineConfig::base(256), scale);
+        let (c, probe) = probed(eng, w, PipelineConfig::ci(256), scale);
         // `reissues` records (issues - 1) per retired instruction, so the
         // worst-case issue count is its maximum plus the original issue.
         let max_issues = if probe.reissues.is_empty() {
@@ -281,9 +431,41 @@ pub fn table4(scale: &Scale) -> Table {
     t
 }
 
+fn figure8_configs() -> [(Preemption, PipelineConfig); 2] {
+    [
+        (
+            Preemption::Simple,
+            PipelineConfig {
+                preemption: Preemption::Simple,
+                ..PipelineConfig::ci(256)
+            },
+        ),
+        (
+            Preemption::Optimal,
+            PipelineConfig {
+                preemption: Preemption::Optimal,
+                ..PipelineConfig::ci(256)
+            },
+        ),
+    ]
+}
+
+/// Cells for [`figure8`].
+#[must_use]
+pub fn figure8_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        for (_, cfg) in figure8_configs() {
+            cells.push(dcell(w, cfg, scale));
+        }
+    }
+    cells
+}
+
 /// Figure 8: simple vs optimal preemption of restart sequences (window 256).
 #[must_use]
-pub fn figure8(scale: &Scale) -> Table {
+pub fn figure8(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure8_cells(scale));
     let mut t = Table::new("FIGURE 8. Simple vs optimal preemption (window 256).");
     t.headers(&[
         "benchmark",
@@ -292,24 +474,10 @@ pub fn figure8(scale: &Scale) -> Table {
         "optimal gain",
         "avg restart cycles",
     ]);
+    let [(_, simple_cfg), (_, optimal_cfg)] = figure8_configs();
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let s = run(
-            &p,
-            PipelineConfig {
-                preemption: Preemption::Simple,
-                ..PipelineConfig::ci(256)
-            },
-            scale,
-        );
-        let o = run(
-            &p,
-            PipelineConfig {
-                preemption: Preemption::Optimal,
-                ..PipelineConfig::ci(256)
-            },
-            scale,
-        );
+        let s = stats(eng, w, simple_cfg, scale);
+        let o = stats(eng, w, optimal_cfg, scale);
         t.row(vec![
             w.name().to_owned(),
             f(s.ipc(), 2),
@@ -321,10 +489,41 @@ pub fn figure8(scale: &Scale) -> Table {
     t
 }
 
+const FIGURE9_MODELS: [(CompletionModel, bool); 7] = [
+    (CompletionModel::NonSpec, false),
+    (CompletionModel::SpecD, false),
+    (CompletionModel::SpecD, true),
+    (CompletionModel::SpecC, false),
+    (CompletionModel::SpecC, true),
+    (CompletionModel::Spec, false),
+    (CompletionModel::Spec, true),
+];
+
+fn figure9_config(completion: CompletionModel, hfm: bool) -> PipelineConfig {
+    PipelineConfig {
+        completion,
+        hide_false_mispredictions: hfm,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure9`].
+#[must_use]
+pub fn figure9_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        for (m, hfm) in FIGURE9_MODELS {
+            cells.push(dcell(w, figure9_config(m, hfm), scale));
+        }
+    }
+    cells
+}
+
 /// Figure 9: the branch completion models of Appendix A.2, with and without
 /// oracle suppression of false mispredictions (window 256).
 #[must_use]
-pub fn figure9(scale: &Scale) -> Table {
+pub fn figure9(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure9_cells(scale));
     let mut t = Table::new(
         "FIGURE 9. Branch completion models and false mispredictions (IPC, window 256).",
     );
@@ -339,31 +538,30 @@ pub fn figure9(scale: &Scale) -> Table {
         "spec-HFM",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
         let mut row = vec![w.name().to_owned()];
-        for (m, hfm) in [
-            (CompletionModel::NonSpec, false),
-            (CompletionModel::SpecD, false),
-            (CompletionModel::SpecD, true),
-            (CompletionModel::SpecC, false),
-            (CompletionModel::SpecC, true),
-            (CompletionModel::Spec, false),
-            (CompletionModel::Spec, true),
-        ] {
-            let s = run(
-                &p,
-                PipelineConfig {
-                    completion: m,
-                    hide_false_mispredictions: hfm,
-                    ..PipelineConfig::ci(256)
-                },
-                scale,
-            );
+        for (m, hfm) in FIGURE9_MODELS {
+            let s = stats(eng, w, figure9_config(m, hfm), scale);
             row.push(f(s.ipc(), 2));
         }
         t.row(row);
     }
     t
+}
+
+fn figure10_config() -> PipelineConfig {
+    PipelineConfig {
+        completion: CompletionModel::Spec,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure10`].
+#[must_use]
+pub fn figure10_cells(scale: &Scale) -> Vec<CellSpec> {
+    Workload::ALL
+        .into_iter()
+        .map(|w| dcell(w, figure10_config(), scale))
+        .collect()
 }
 
 /// Figure 10: cumulative fraction of false mispredictions detectable while
@@ -372,7 +570,8 @@ pub fn figure9(scale: &Scale) -> Table {
 /// Runs under the `spec` completion model, where false mispredictions are
 /// most frequent.
 #[must_use]
-pub fn figure10(scale: &Scale) -> Table {
+pub fn figure10(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure10_cells(scale));
     let mut t = Table::new(
         "FIGURE 10. Detecting false mispredictions from true/false history (spec model, window 256).",
     );
@@ -387,15 +586,7 @@ pub fn figure10(scale: &Scale) -> Table {
         "dyn(xor)@20%",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let s = run(
-            &p,
-            PipelineConfig {
-                completion: CompletionModel::Spec,
-                ..PipelineConfig::ci(256)
-            },
-            scale,
-        );
+        let s = stats(eng, w, figure10_config(), scale);
         t.row(vec![
             w.name().to_owned(),
             format!("{}/{}", s.true_mispredictions, s.false_mispredictions),
@@ -410,23 +601,34 @@ pub fn figure10(scale: &Scale) -> Table {
     t
 }
 
+fn figure12_oracle_config() -> PipelineConfig {
+    PipelineConfig {
+        oracle_ghr: true,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure12`].
+#[must_use]
+pub fn figure12_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.push(dcell(w, PipelineConfig::ci(256), scale));
+        cells.push(dcell(w, figure12_oracle_config(), scale));
+    }
+    cells
+}
+
 /// Figure 12: impact of predicting with the architecturally correct
 /// ("oracle") global branch history (window 256).
 #[must_use]
-pub fn figure12(scale: &Scale) -> Table {
+pub fn figure12(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure12_cells(scale));
     let mut t = Table::new("FIGURE 12. Impact of oracle global branch history (window 256).");
     t.headers(&["benchmark", "CI IPC", "CI + oracle GHR", "delta"]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let c = run(&p, PipelineConfig::ci(256), scale);
-        let o = run(
-            &p,
-            PipelineConfig {
-                oracle_ghr: true,
-                ..PipelineConfig::ci(256)
-            },
-            scale,
-        );
+        let c = stats(eng, w, PipelineConfig::ci(256), scale);
+        let o = stats(eng, w, figure12_oracle_config(), scale);
         t.row(vec![
             w.name().to_owned(),
             f(c.ipc(), 2),
@@ -437,30 +639,45 @@ pub fn figure12(scale: &Scale) -> Table {
     t
 }
 
+const FIGURE13_MODES: [RepredictMode; 3] = [
+    RepredictMode::None,
+    RepredictMode::Heuristic,
+    RepredictMode::Oracle,
+];
+
+fn figure13_config(repredict: RepredictMode) -> PipelineConfig {
+    PipelineConfig {
+        repredict,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure13`].
+#[must_use]
+pub fn figure13_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.push(dcell(w, PipelineConfig::base(256), scale));
+        for rp in FIGURE13_MODES {
+            cells.push(dcell(w, figure13_config(rp), scale));
+        }
+    }
+    cells
+}
+
 /// Figure 13: the value of re-predict sequences — BASE, CI with no
 /// re-prediction (CI-NR), the CI heuristic, and oracle re-prediction (CI-OR)
 /// (window 256).
 #[must_use]
-pub fn figure13(scale: &Scale) -> Table {
+pub fn figure13(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure13_cells(scale));
     let mut t = Table::new("FIGURE 13. Evaluation of re-predictions (IPC, window 256).");
     t.headers(&["benchmark", "base", "CI-NR", "CI", "CI-OR"]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let b = run(&p, PipelineConfig::base(256), scale);
+        let b = stats(eng, w, PipelineConfig::base(256), scale);
         let mut row = vec![w.name().to_owned(), f(b.ipc(), 2)];
-        for rp in [
-            RepredictMode::None,
-            RepredictMode::Heuristic,
-            RepredictMode::Oracle,
-        ] {
-            let s = run(
-                &p,
-                PipelineConfig {
-                    repredict: rp,
-                    ..PipelineConfig::ci(256)
-                },
-                scale,
-            );
+        for rp in FIGURE13_MODES {
+            let s = stats(eng, w, figure13_config(rp), scale);
             row.push(f(s.ipc(), 2));
         }
         t.row(row);
@@ -468,9 +685,32 @@ pub fn figure13(scale: &Scale) -> Table {
     t
 }
 
+const FIGURE14_SEGMENTS: [usize; 3] = [1, 4, 16];
+
+fn figure14_config(segment: usize) -> PipelineConfig {
+    PipelineConfig {
+        segment,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure14`].
+#[must_use]
+pub fn figure14_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.push(dcell(w, PipelineConfig::base(256), scale));
+        for seg in FIGURE14_SEGMENTS {
+            cells.push(dcell(w, figure14_config(seg), scale));
+        }
+    }
+    cells
+}
+
 /// Figure 14: ROB segment size (1/4/16 instructions, 256-instruction window).
 #[must_use]
-pub fn figure14(scale: &Scale) -> Table {
+pub fn figure14(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure14_cells(scale));
     let mut t = Table::new("FIGURE 14. Varying ROB segment size (window 256).");
     t.headers(&[
         "benchmark",
@@ -483,20 +723,11 @@ pub fn figure14(scale: &Scale) -> Table {
         "imp@16",
     ]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let b = run(&p, PipelineConfig::base(256), scale);
-        let mut ipcs = Vec::new();
-        for seg in [1usize, 4, 16] {
-            let s = run(
-                &p,
-                PipelineConfig {
-                    segment: seg,
-                    ..PipelineConfig::ci(256)
-                },
-                scale,
-            );
-            ipcs.push(s.ipc());
-        }
+        let b = stats(eng, w, PipelineConfig::base(256), scale);
+        let ipcs: Vec<f64> = FIGURE14_SEGMENTS
+            .into_iter()
+            .map(|seg| stats(eng, w, figure14_config(seg), scale).ipc())
+            .collect();
         t.row(vec![
             w.name().to_owned(),
             f(b.ipc(), 2),
@@ -511,10 +742,42 @@ pub fn figure14(scale: &Scale) -> Table {
     t
 }
 
+const FIGURE17_COMBOS: [(&str, ReconStrategy); 7] = [
+    ("return", ReconStrategy::hardware(true, false, false)),
+    ("loop", ReconStrategy::hardware(false, true, false)),
+    ("ltb", ReconStrategy::hardware(false, false, true)),
+    ("return/loop", ReconStrategy::hardware(true, true, false)),
+    ("return/ltb", ReconStrategy::hardware(true, false, true)),
+    ("loop/ltb", ReconStrategy::hardware(false, true, true)),
+    ("all", ReconStrategy::hardware(true, true, true)),
+];
+
+fn figure17_config(recon: ReconStrategy) -> PipelineConfig {
+    PipelineConfig {
+        recon,
+        ..PipelineConfig::ci(256)
+    }
+}
+
+/// Cells for [`figure17`].
+#[must_use]
+pub fn figure17_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.push(dcell(w, PipelineConfig::base(256), scale));
+        for (_, recon) in FIGURE17_COMBOS {
+            cells.push(dcell(w, figure17_config(recon), scale));
+        }
+        cells.push(dcell(w, PipelineConfig::ci(256), scale));
+    }
+    cells
+}
+
 /// Figure 17: hardware heuristics for identifying reconvergent points,
 /// as percentage IPC improvement over the BASE machine (window 256).
 #[must_use]
-pub fn figure17(scale: &Scale) -> Table {
+pub fn figure17(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&figure17_cells(scale));
     let mut t = Table::new(
         "FIGURE 17. Instruction-type heuristics for reconvergent points (% IPC improvement over base, window 256).",
     );
@@ -529,35 +792,24 @@ pub fn figure17(scale: &Scale) -> Table {
         "all",
         "CI (postdom)",
     ]);
-    let combos: [(&str, ReconStrategy); 7] = [
-        ("return", ReconStrategy::hardware(true, false, false)),
-        ("loop", ReconStrategy::hardware(false, true, false)),
-        ("ltb", ReconStrategy::hardware(false, false, true)),
-        ("return/loop", ReconStrategy::hardware(true, true, false)),
-        ("return/ltb", ReconStrategy::hardware(true, false, true)),
-        ("loop/ltb", ReconStrategy::hardware(false, true, true)),
-        ("all", ReconStrategy::hardware(true, true, true)),
-    ];
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let b = run(&p, PipelineConfig::base(256), scale);
+        let b = stats(eng, w, PipelineConfig::base(256), scale);
         let mut row = vec![w.name().to_owned()];
-        for (_, recon) in combos {
-            let s = run(
-                &p,
-                PipelineConfig {
-                    recon,
-                    ..PipelineConfig::ci(256)
-                },
-                scale,
-            );
+        for (_, recon) in FIGURE17_COMBOS {
+            let s = stats(eng, w, figure17_config(recon), scale);
             row.push(pct(s.ipc() / b.ipc() - 1.0));
         }
-        let sw = run(&p, PipelineConfig::ci(256), scale);
+        let sw = stats(eng, w, PipelineConfig::ci(256), scale);
         row.push(pct(sw.ipc() / b.ipc() - 1.0));
         t.row(row);
     }
     t
+}
+
+/// Cells for [`distributions`].
+#[must_use]
+pub fn distributions_cells(scale: &Scale) -> Vec<CellSpec> {
+    table2_cells(scale) // the same window-256 CI runs
 }
 
 /// Distribution summaries from the observability layer: restart-sequence
@@ -567,14 +819,14 @@ pub fn figure17(scale: &Scale) -> Table {
 /// These go beyond the paper's averages — the per-event histograms expose
 /// the long tails that the means in Tables 2 and 4 hide.
 #[must_use]
-pub fn distributions(scale: &Scale) -> Table {
+pub fn distributions(eng: &Engine, scale: &Scale) -> Table {
+    eng.prefetch(&distributions_cells(scale));
     let mut t = Table::new(
         "DISTRIBUTIONS. Restart, reconvergence, occupancy and reissue histograms (CI, window 256).",
     );
     t.headers(&["benchmark", "metric", "n", "mean", "p50", "p90", "max"]);
     for w in Workload::ALL {
-        let p = program_for(w, scale);
-        let (_, probe) = run_probed(&p, PipelineConfig::ci(256), scale);
+        let (_, probe) = probed(eng, w, PipelineConfig::ci(256), scale);
         let metrics: [(&str, &Histogram); 4] = [
             ("restart length (cycles)", &probe.restart_length),
             ("recon distance (instr)", &probe.recon_distance),
@@ -596,6 +848,56 @@ pub fn distributions(scale: &Scale) -> Table {
     t
 }
 
+/// Every cell of the full evaluation ([`run_all`]) at this scale, duplicates
+/// included (the engine dedups).
+#[must_use]
+pub fn all_experiment_cells(scale: &Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    cells.extend(table1_cells(scale));
+    cells.extend(figure3_cells(scale, &FIGURE3_WINDOWS));
+    cells.extend(figure5_6_cells(scale, &FIGURE5_WINDOWS));
+    cells.extend(table2_cells(scale));
+    cells.extend(table3_cells(scale));
+    cells.extend(table4_cells(scale));
+    cells.extend(figure8_cells(scale));
+    cells.extend(figure9_cells(scale));
+    cells.extend(figure10_cells(scale));
+    cells.extend(figure12_cells(scale));
+    cells.extend(figure13_cells(scale));
+    cells.extend(figure14_cells(scale));
+    cells.extend(figure17_cells(scale));
+    cells.extend(distributions_cells(scale));
+    cells
+}
+
+/// The full evaluation: every table and figure, in publication order.
+///
+/// Prefetches the union of all cells first so the engine's workers see one
+/// big batch (maximum overlap, cross-table sharing), then assembles each
+/// table from the cache. Output is byte-identical for every worker count.
+#[must_use]
+pub fn run_all(eng: &Engine, scale: &Scale) -> Vec<Table> {
+    eng.prefetch(&all_experiment_cells(scale));
+    let (fig5, fig6) = figure5_6(eng, scale, &FIGURE5_WINDOWS);
+    vec![
+        table1(eng, scale),
+        figure3(eng, scale, &FIGURE3_WINDOWS),
+        fig5,
+        fig6,
+        table2(eng, scale),
+        table3(eng, scale),
+        table4(eng, scale),
+        figure8(eng, scale),
+        figure9(eng, scale),
+        figure10(eng, scale),
+        figure12(eng, scale),
+        figure13(eng, scale),
+        figure14(eng, scale),
+        figure17(eng, scale),
+        distributions(eng, scale),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -609,26 +911,26 @@ mod tests {
 
     #[test]
     fn table1_has_five_rows() {
-        let t = table1(&tiny());
+        let t = table1(&Engine::serial(), &tiny());
         assert_eq!(t.len(), 5);
     }
 
     #[test]
     fn figure3_covers_models_and_windows() {
-        let t = figure3(&tiny(), &[32, 64]);
+        let t = figure3(&Engine::serial(), &tiny(), &[32, 64]);
         assert_eq!(t.len(), 10);
     }
 
     #[test]
     fn figure5_6_consistent() {
-        let (ipc, imp) = figure5_6(&tiny(), &[64]);
+        let (ipc, imp) = figure5_6(&Engine::serial(), &tiny(), &[64]);
         assert_eq!(ipc.len(), 5);
         assert_eq!(imp.len(), 5);
     }
 
     #[test]
     fn table2_reports_restart_quantiles() {
-        let t = table2(&tiny());
+        let t = table2(&Engine::serial(), &tiny());
         assert_eq!(t.len(), 5);
         assert_eq!(t.header_cells().len(), 8);
         let row = &t.data_rows()[0];
@@ -639,14 +941,72 @@ mod tests {
 
     #[test]
     fn distributions_covers_all_workloads_and_metrics() {
-        let t = distributions(&tiny());
+        let t = distributions(&Engine::serial(), &tiny());
         assert_eq!(t.len(), 5 * 4);
         assert!(t.data_rows().iter().all(|r| r.len() == 7));
     }
 
     #[test]
+    fn shared_cells_are_computed_once_across_tables() {
+        let eng = Engine::serial();
+        let scale = tiny();
+        // Tables 2, 3 and the distributions table all reference the same
+        // five window-256 CI cells.
+        let t2 = table2(&eng, &scale);
+        let computed_after_t2 = eng.cells_computed();
+        let t3 = table3(&eng, &scale);
+        let d = distributions(&eng, &scale);
+        assert_eq!(t2.len(), 5);
+        assert_eq!(t3.len(), 5);
+        assert_eq!(d.len(), 20);
+        assert_eq!(
+            eng.cells_computed(),
+            computed_after_t2,
+            "table3/distributions must reuse table2's cells"
+        );
+    }
+
+    #[test]
     fn scale_from_env_defaults() {
-        let s = Scale::from_env();
+        // The test runner does not set the scale variables, so the default
+        // comes back.
+        let s = Scale::from_env().expect("absent variables are not an error");
         assert!(s.instructions > 0);
+    }
+
+    #[test]
+    fn scale_parse_accepts_valid_values() {
+        let s = Scale::parse(Some("150000"), Some("42")).unwrap();
+        assert_eq!(s.instructions, 150_000);
+        assert_eq!(s.seed, 42);
+        let s = Scale::parse(Some(" 5000 "), Some("0x5EED")).unwrap();
+        assert_eq!(s.instructions, 5_000);
+        assert_eq!(s.seed, 0x5EED);
+        let s = Scale::parse(None, Some("0XFF")).unwrap();
+        assert_eq!(s.instructions, Scale::default_scale().instructions);
+        assert_eq!(s.seed, 0xFF);
+    }
+
+    #[test]
+    fn scale_parse_defaults_when_absent() {
+        assert_eq!(Scale::parse(None, None).unwrap(), Scale::default_scale());
+    }
+
+    #[test]
+    fn scale_parse_rejects_malformed_values() {
+        for bad in ["abc", "", "12x", "-5", "1.5", "0x10"] {
+            let e = Scale::parse(Some(bad), None).unwrap_err();
+            assert!(
+                e.contains("CI_REPRO_INSTRUCTIONS") && e.contains(bad),
+                "unhelpful error: {e}"
+            );
+        }
+        assert!(Scale::parse(Some("0"), None)
+            .unwrap_err()
+            .contains("positive"));
+        for bad in ["seed", "", "0x", "0xZZ", "-1", "3.7"] {
+            let e = Scale::parse(None, Some(bad)).unwrap_err();
+            assert!(e.contains("CI_REPRO_SEED"), "unhelpful error: {e}");
+        }
     }
 }

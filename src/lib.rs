@@ -39,6 +39,7 @@ pub use ci_ideal;
 pub use ci_isa;
 pub use ci_obs;
 pub use ci_report;
+pub use ci_runner;
 pub use ci_workloads;
 
 pub mod experiments;
@@ -59,5 +60,6 @@ pub mod prelude {
         TimelineProbe,
     };
     pub use ci_report::Table;
+    pub use ci_runner::{CellOutput, CellSpec, Engine, EngineOptions};
     pub use ci_workloads::{random_program, Workload, WorkloadParams};
 }

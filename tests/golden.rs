@@ -1,5 +1,5 @@
-//! Golden-file tests: pin the rendered text of the paper's Table 1 and
-//! Table 2 at a small fixed scale.
+//! Golden-file tests: pin the rendered text of the paper's Table 1, Table 2,
+//! Table 3, Table 4 and Figure 8 at a small fixed scale.
 //!
 //! These tables fold in nearly every layer of the simulator — workload
 //! generation, the emulator oracle, predictors, the detailed pipeline with
@@ -11,7 +11,8 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden
 //! ```
 
-use control_independence::experiments::{table1, table2, Scale};
+use control_independence::experiments::{figure8, table1, table2, table3, table4, Scale};
+use control_independence::prelude::Engine;
 use std::path::PathBuf;
 
 const SCALE: Scale = Scale {
@@ -37,10 +38,25 @@ fn check_golden(name: &str, actual: &str) {
 
 #[test]
 fn table1_text_is_pinned() {
-    check_golden("table1.txt", &table1(&SCALE).render());
+    check_golden("table1.txt", &table1(&Engine::serial(), &SCALE).render());
 }
 
 #[test]
 fn table2_text_is_pinned() {
-    check_golden("table2.txt", &table2(&SCALE).render());
+    check_golden("table2.txt", &table2(&Engine::serial(), &SCALE).render());
+}
+
+#[test]
+fn table3_text_is_pinned() {
+    check_golden("table3.txt", &table3(&Engine::serial(), &SCALE).render());
+}
+
+#[test]
+fn table4_text_is_pinned() {
+    check_golden("table4.txt", &table4(&Engine::serial(), &SCALE).render());
+}
+
+#[test]
+fn figure8_text_is_pinned() {
+    check_golden("figure8.txt", &figure8(&Engine::serial(), &SCALE).render());
 }
