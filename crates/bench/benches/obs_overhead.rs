@@ -1,14 +1,16 @@
 //! Cost of the observability layer: the same CI pipeline simulation with
 //! the default [`NoopProbe`] (statically monomorphized away), with the
-//! histogram-collecting [`MetricsProbe`], and with a bounded
-//! [`FlightRecorder`] attached.
+//! histogram-collecting [`MetricsProbe`], with a bounded [`FlightRecorder`]
+//! attached, and — on the profiler seam — with the default [`NoopProfiler`]
+//! versus a live [`SpanProfiler`].
 //!
-//! The acceptance bar for the probe seam itself is `noop` staying within
-//! ~2% of the pre-probe baseline (`pipeline/ci_w256` tracks the plain
-//! `simulate` path, which uses `NoopProbe` internally).
+//! The acceptance bar for the probe and profiler seams themselves is
+//! `noop` / `noop_profiler` staying within ~2% of the pre-probe baseline
+//! (`pipeline/ci_w256` tracks the plain `simulate` path, which uses
+//! `NoopProbe` + `NoopProfiler` internally).
 
-use ci_core::{simulate, simulate_probed, PipelineConfig};
-use ci_obs::{FlightRecorder, MetricsProbe, NoopProbe};
+use ci_core::{simulate, simulate_probed, simulate_profiled, PipelineConfig};
+use ci_obs::{FlightRecorder, MetricsProbe, NoopProbe, NoopProfiler, SpanProfiler};
 use ci_workloads::{Workload, WorkloadParams};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -42,6 +44,18 @@ fn bench_obs_overhead(c: &mut Criterion) {
         b.iter(|| {
             let (s, probe) = simulate_probed(&p, cfg, 10_000, FlightRecorder::new()).unwrap();
             black_box((s.cycles, probe.events().count()))
+        });
+    });
+    g.bench_function("noop_profiler", |b| {
+        b.iter(|| {
+            let run = simulate_profiled(&p, cfg, 10_000, NoopProbe, NoopProfiler).unwrap();
+            black_box(run.stats.cycles)
+        });
+    });
+    g.bench_function("span_profiler", |b| {
+        b.iter(|| {
+            let run = simulate_profiled(&p, cfg, 10_000, NoopProbe, SpanProfiler::new()).unwrap();
+            black_box((run.stats.cycles, run.profiler.total()))
         });
     });
     g.finish();

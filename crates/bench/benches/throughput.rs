@@ -1,0 +1,39 @@
+//! Criterion hook for simulator throughput: retired instructions per host
+//! second (Criterion's element throughput = MIPS × 10⁶) for each machine
+//! configuration of the paper, on one representative workload.
+//!
+//! The `throughput` *binary* is the full sweep (all five workloads, JSON
+//! report, baseline gate); this bench tracks the same quantity inside the
+//! Criterion suite so `cargo bench` catches simulator slowdowns alongside
+//! the component benches.
+
+use ci_core::{simulate, PipelineConfig};
+use ci_workloads::{Workload, WorkloadParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const INSTRUCTIONS: u64 = 10_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let w = Workload::GoLike;
+    let p = w.build(&WorkloadParams {
+        scale: w.scale_for(INSTRUCTIONS),
+        seed: 1,
+    });
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRUCTIONS));
+    for (name, cfg) in [
+        ("base_w256", PipelineConfig::base(256)),
+        ("ci_w256", PipelineConfig::ci(256)),
+        ("ci_i_w256", PipelineConfig::ci_instant(256)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(&p, cfg, INSTRUCTIONS).unwrap().retired));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Inspect a workload: disassembly, basic blocks, immediate post-dominators,
 //! the per-branch reconvergence map, a quick BASE-vs-CI run, and a probed
-//! post-mortem: event-distribution histograms plus a per-cycle pipeline
-//! occupancy timeline for a chosen range of retired instructions.
+//! post-mortem: event-distribution histograms, a stage-occupancy summary
+//! (which pipeline stages made progress each cycle), plus a per-cycle
+//! pipeline occupancy timeline for a chosen range of retired instructions.
 //!
 //! ```sh
 //! cargo run --release -p ci-bench --bin inspect -- go
@@ -117,13 +118,24 @@ fn main() {
         );
     }
 
-    // Probed CI run: metrics histograms + the per-cycle timeline.
+    // Probed CI run: metrics histograms, per-stage cycle attribution, and
+    // the per-cycle timeline.
     let probe = (MetricsProbe::new(), TimelineProbe::new());
-    let (stats, (metrics, mut timeline)) =
-        simulate_probed(&program, PipelineConfig::ci(256), instructions, probe)
-            .expect("workload runs");
+    let run = simulate_profiled(
+        &program,
+        PipelineConfig::ci(256),
+        instructions,
+        probe,
+        NoopProfiler,
+    )
+    .expect("workload runs");
+    let stats = run.stats;
+    let (metrics, mut timeline) = run.probe;
     timeline.finish();
     let registry = metrics.registry();
+
+    println!("\n== CI stage occupancy ==");
+    print!("{}", run.activity.summary());
 
     println!("\n== CI event distributions ==");
     for name in [

@@ -14,7 +14,10 @@
 //! - `--cache-dir <dir>`: persist computed cells to `<dir>/cells.jsonl` and
 //!   reuse them on the next run.
 //! - `--timing <path>`: export per-cell wall times and cache counters as
-//!   JSON lines through the `ci-obs` metrics layer.
+//!   JSON lines through the `ci-obs` metrics layer; each cell line carries
+//!   its workload, configuration family, and cache disposition.
+//! - `--metrics <path>`: export a run-level `run_metrics/v1` JSON report
+//!   (cache hit rates, pool utilization, slowest cells).
 
 pub mod cli {
     //! Shared command-line plumbing for the experiment binaries: the common
@@ -97,6 +100,7 @@ pub mod cli {
         /// Positional arguments left after flag parsing.
         pub rest: Vec<String>,
         timing: Option<PathBuf>,
+        metrics: Option<PathBuf>,
         label: &'static str,
     }
 
@@ -108,6 +112,7 @@ pub mod cli {
             let mut opts = EngineOptions::from_env();
             let mut json = None;
             let mut timing = None;
+            let mut metrics = None;
             let mut rest = Vec::new();
             let mut args = std::env::args().skip(1);
             fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -120,6 +125,7 @@ pub mod cli {
                 match a.as_str() {
                     "--json" => json = Some(PathBuf::from(value(&mut args, "--json"))),
                     "--timing" => timing = Some(PathBuf::from(value(&mut args, "--timing"))),
+                    "--metrics" => metrics = Some(PathBuf::from(value(&mut args, "--metrics"))),
                     "--cache-dir" => {
                         opts.cache_dir = Some(PathBuf::from(value(&mut args, "--cache-dir")));
                     }
@@ -138,6 +144,7 @@ pub mod cli {
                 engine: Engine::new(opts),
                 rest,
                 timing,
+                metrics,
                 label,
             }
         }
@@ -148,17 +155,22 @@ pub mod cli {
         }
 
         /// Finish the run: flush the `--json` export, write the `--timing`
-        /// metrics (per-cell wall times are nondeterministic, so they never
-        /// go into the byte-compared `--json` artifact), persist the cell
-        /// cache, and print a one-line cache/timing summary to stderr.
+        /// JSON lines and the `--metrics` run report (host-side wall times
+        /// are nondeterministic, so neither ever goes into the byte-compared
+        /// `--json` artifact), persist the cell cache, and print a one-line
+        /// cache/timing summary to stderr.
         pub fn finish(mut self) {
             self.out.finish();
             if let Some(path) = &self.timing {
-                let jsonl = self
-                    .engine
-                    .timing_registry()
-                    .to_jsonl(&[("binary", self.label)]);
+                let jsonl = self.engine.timing_jsonl(self.label);
                 write_file(path, jsonl.as_bytes());
+            }
+            if let Some(path) = &self.metrics {
+                let report = self.engine.run_metrics(self.label);
+                let mut body = report.to_json().render();
+                body.push('\n');
+                write_file(path, body.as_bytes());
+                eprint!("{}", report.summary());
             }
             if let Err(e) = self.engine.save_cache() {
                 panic!("cannot persist cell cache: {e}");

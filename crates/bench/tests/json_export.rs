@@ -66,5 +66,5 @@ fn json_flag_requires_path() {
         .output()
         .expect("table1 binary runs");
     assert!(!output.status.success());
-    assert!(String::from_utf8_lossy(&output.stderr).contains("--json requires a path"));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--json requires an argument"));
 }

@@ -1,0 +1,191 @@
+//! End-to-end checks of the performance-observability binaries: `profile`
+//! (span tree + Chrome trace) and `throughput` (MIPS report + baseline
+//! gate), plus the shared `--metrics` run report.
+
+use ci_obs::json::{parse, JsonValue};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ci_profiling_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn profile_reports_spans_and_writes_a_chrome_trace() {
+    let trace = tmp("trace.json");
+    let json = tmp("profile.jsonl");
+    let output = Command::new(env!("CARGO_BIN_EXE_profile"))
+        .args(["go", "4000", "--config", "ci"])
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--json")
+        .arg(&json)
+        .env("CI_REPRO_INSTRUCTIONS", "4000")
+        .output()
+        .expect("profile binary runs");
+    assert!(
+        output.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    for needle in [
+        "span tree",
+        "cycle_loop",
+        "complete",
+        "fetch",
+        "cycle attribution",
+        "no-progress polled cycles",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "stdout missing {needle:?}:\n{stdout}"
+        );
+    }
+
+    // The Chrome trace parses and has one complete event per span.
+    let trace_text = std::fs::read_to_string(&trace).expect("--trace wrote the file");
+    std::fs::remove_file(&trace).ok();
+    let v = parse(trace_text.trim()).expect("trace is valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert!(events
+        .iter()
+        .all(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(JsonValue::as_str) == Some("cycle_loop")));
+
+    // The --json export carries the span report with ≥90% wall coverage.
+    let jsonl = std::fs::read_to_string(&json).expect("--json wrote the file");
+    std::fs::remove_file(&json).ok();
+    let report =
+        parse(jsonl.lines().next().expect("one report line")).expect("report line is valid JSON");
+    assert_eq!(
+        report.get("metric").and_then(JsonValue::as_str),
+        Some("profile")
+    );
+    let coverage = report
+        .get("coverage_pct")
+        .and_then(JsonValue::as_f64)
+        .expect("coverage_pct");
+    assert!(
+        coverage >= 90.0,
+        "span tree covers only {coverage:.1}% of the measured wall time"
+    );
+    let activity = report.get("activity").expect("activity object");
+    assert!(activity.get("cycles").and_then(JsonValue::as_i64).unwrap() > 0);
+}
+
+#[test]
+fn throughput_emits_mips_report_and_gates_on_baseline() {
+    let json = tmp("throughput.json");
+    let metrics = tmp("metrics.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_throughput"))
+        .arg("--json")
+        .arg(&json)
+        .arg("--metrics")
+        .arg(&metrics)
+        .env("CI_REPRO_INSTRUCTIONS", "2000")
+        .output()
+        .expect("throughput binary runs");
+    assert!(
+        output.status.success(),
+        "throughput failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report_text = std::fs::read_to_string(&json).expect("--json wrote the file");
+    let report = parse(report_text.trim()).expect("report is valid JSON");
+    assert_eq!(
+        report.get("schema").and_then(JsonValue::as_str),
+        Some("bench_throughput/v1")
+    );
+    let results = report
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .expect("results array");
+    assert_eq!(results.len(), 15, "5 workloads x 3 configs");
+    for r in results {
+        assert!(r.get("retired").and_then(JsonValue::as_i64).unwrap() > 0);
+        assert!(r.get("mips").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    }
+    assert!(
+        report
+            .get("geomean_mips")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    // The --metrics report is valid run_metrics/v1 JSON.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("--metrics wrote the file");
+    std::fs::remove_file(&metrics).ok();
+    let m = parse(metrics_text.trim()).expect("metrics is valid JSON");
+    assert_eq!(
+        m.get("schema").and_then(JsonValue::as_str),
+        Some("run_metrics/v1")
+    );
+    assert_eq!(
+        m.get("binary").and_then(JsonValue::as_str),
+        Some("throughput")
+    );
+
+    // Gate against the run's own numbers: must pass.
+    let gate = Command::new(env!("CARGO_BIN_EXE_throughput"))
+        .arg("--baseline")
+        .arg(&json)
+        .env("CI_REPRO_INSTRUCTIONS", "2000")
+        .output()
+        .expect("throughput binary runs");
+    assert!(
+        gate.status.success(),
+        "self-baseline gate failed: {}",
+        String::from_utf8_lossy(&gate.stderr)
+    );
+    assert!(String::from_utf8_lossy(&gate.stdout).contains("gate: ok"));
+
+    // An absurdly fast baseline must trip the gate.
+    let fast = tmp("fast_baseline.json");
+    std::fs::write(
+        &fast,
+        r#"{"schema":"bench_throughput/v1","geomean_mips":1e9}"#,
+    )
+    .expect("write fast baseline");
+    let tripped = Command::new(env!("CARGO_BIN_EXE_throughput"))
+        .arg("--baseline")
+        .arg(&fast)
+        .env("CI_REPRO_INSTRUCTIONS", "2000")
+        .output()
+        .expect("throughput binary runs");
+    std::fs::remove_file(&fast).ok();
+    std::fs::remove_file(&json).ok();
+    assert!(
+        !tripped.status.success(),
+        "gate should trip on a 1e9 MIPS baseline"
+    );
+    assert!(String::from_utf8_lossy(&tripped.stderr).contains("THROUGHPUT REGRESSION"));
+}
+
+#[test]
+fn baseline_rebless_writes_the_current_report() {
+    let base = tmp("rebless.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_throughput"))
+        .arg("--baseline")
+        .arg(&base)
+        .env("CI_REPRO_INSTRUCTIONS", "2000")
+        .env("UPDATE_BENCH_BASELINE", "1")
+        .output()
+        .expect("throughput binary runs");
+    assert!(
+        output.status.success(),
+        "re-bless failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&base).expect("baseline written");
+    std::fs::remove_file(&base).ok();
+    let v = parse(text.trim()).expect("baseline is valid JSON");
+    assert!(v.get("geomean_mips").and_then(JsonValue::as_f64).unwrap() > 0.0);
+}

@@ -5,6 +5,7 @@
 //! [`crate::exec`], misprediction recovery in [`crate::recover`], retirement
 //! in [`crate::retire`].
 
+use crate::activity::CycleActivity;
 use crate::cache::DataCache;
 use crate::config::PipelineConfig;
 use crate::recon::ReconDetector;
@@ -12,9 +13,9 @@ use crate::regfile::{MapTable, PhysReg, PhysRegFile};
 use crate::rob::{InstId, Rob, SegCursor};
 use crate::stats::Stats;
 use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack, TfrTable};
-use ci_emu::{run_trace, DynInst, EmuError, Memory};
+use ci_emu::{run_trace_profiled, DynInst, EmuError, Memory};
 use ci_isa::{Addr, Inst, InstClass, Pc, Program, Reg};
-use ci_obs::{Event, NoopProbe, Probe};
+use ci_obs::{Event, NoopProbe, NoopProfiler, Probe, Profiler};
 
 /// A renamed source operand.
 #[derive(Clone, Copy, Debug)]
@@ -137,9 +138,19 @@ pub(crate) struct FetchCtx {
 /// zero-sized sink whose `record` inlines to nothing, so an unprobed
 /// pipeline pays no cost for the instrumentation; plug in a real sink with
 /// [`Pipeline::with_probe`] or [`crate::simulate_probed`].
+///
+/// It is separately generic over a [`Profiler`] that attributes *host* wall
+/// time to pipeline stages (fetch, issue, complete, retire, recovery). The
+/// default [`NoopProfiler`] is likewise a zero-sized no-op; attach a
+/// [`ci_obs::SpanProfiler`] with [`Pipeline::with_probe_and_profiler`] or
+/// [`crate::simulate_profiled`] to see where simulation time goes. Probes
+/// and profilers observe; they never steer — [`Stats`] is bit-identical
+/// with or without them.
 #[derive(Debug)]
-pub struct Pipeline<'p, P: Probe = NoopProbe> {
+pub struct Pipeline<'p, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     pub(crate) probe: P,
+    pub(crate) prof: F,
+    pub(crate) activity: CycleActivity,
     pub(crate) program: &'p Program,
     pub(crate) cfg: PipelineConfig,
     // Architectural reference.
@@ -202,7 +213,35 @@ impl<'p, P: Probe> Pipeline<'p, P> {
         max_insts: u64,
         probe: P,
     ) -> Result<Pipeline<'p, P>, EmuError> {
-        let trace = run_trace(program, max_insts)?;
+        Pipeline::with_probe_and_profiler(program, config, max_insts, probe, NoopProfiler)
+    }
+}
+
+impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
+    /// Build a pipeline whose events feed `probe` and whose host time is
+    /// attributed through `profiler` (a `"setup"` span covers the
+    /// architectural-reference construction; [`Pipeline::run`] adds the
+    /// per-stage spans).
+    ///
+    /// # Errors
+    /// Propagates [`EmuError`] if the program's correct path leaves the
+    /// program.
+    pub fn with_probe_and_profiler(
+        program: &'p Program,
+        config: PipelineConfig,
+        max_insts: u64,
+        probe: P,
+        profiler: F,
+    ) -> Result<Pipeline<'p, P, F>, EmuError> {
+        let mut prof = profiler;
+        prof.enter("setup");
+        let trace = match run_trace_profiled(program, max_insts, &mut prof) {
+            Ok(t) => t,
+            Err(e) => {
+                prof.exit();
+                return Err(e);
+            }
+        };
         let oracle: Vec<DynInst> = trace.insts().to_vec();
         // Prefix global histories for the oracle-GHR mode (Figure 12).
         let mut oracle_hist = Vec::with_capacity(oracle.len() + 1);
@@ -214,9 +253,12 @@ impl<'p, P: Probe> Pipeline<'p, P> {
             }
         }
         oracle_hist.push(h);
+        prof.exit();
 
         Ok(Pipeline {
             probe,
+            prof,
+            activity: CycleActivity::default(),
             program,
             cfg: config,
             oracle,
@@ -268,6 +310,25 @@ impl<'p, P: Probe> Pipeline<'p, P> {
         self.probe
     }
 
+    /// Shared view of the attached profiler.
+    #[must_use]
+    pub fn profiler(&self) -> &F {
+        &self.prof
+    }
+
+    /// The per-cycle stage-activity counters accumulated so far.
+    #[must_use]
+    pub fn activity(&self) -> &CycleActivity {
+        &self.activity
+    }
+
+    /// Consume the pipeline, returning the probe, the profiler, and the
+    /// stage-activity counters.
+    #[must_use]
+    pub fn into_parts(self) -> (P, F, CycleActivity) {
+        (self.probe, self.prof, self.activity)
+    }
+
     /// Force the architectural reference at retired-index `idx` onto a
     /// bogus PC, so the next retirement at that index trips the oracle
     /// checker. Exists so tests can exercise the failure path (the
@@ -289,9 +350,11 @@ impl<'p, P: Probe> Pipeline<'p, P> {
     pub fn run(&mut self) -> Stats {
         let target = self.oracle.len() as u64;
         let cap = 600 * target + 100_000;
+        self.prof.enter("cycle_loop");
         while self.stats.retired < target {
             self.cycle();
             if self.now >= cap {
+                self.prof.exit();
                 self.dump_deadlock();
                 panic!(
                     "pipeline failed to make forward progress at cycle {}",
@@ -299,6 +362,7 @@ impl<'p, P: Probe> Pipeline<'p, P> {
                 );
             }
         }
+        self.prof.exit();
         self.stats.cycles = self.now;
         let (h, m) = self.cache.stats();
         self.stats.cache_hits = h;
@@ -375,8 +439,11 @@ impl<'p, P: Probe> Pipeline<'p, P> {
         macro_rules! chk {
             ($stage:expr) => {};
         }
+        self.prof.enter("complete");
         self.writeback();
+        self.prof.exit();
         chk!("writeback");
+        self.prof.enter("recovery");
         self.detect_mispredictions();
         chk!("detect");
         self.service_recoveries();
@@ -395,8 +462,12 @@ impl<'p, P: Probe> Pipeline<'p, P> {
         {
             self.resume_suspended();
         }
+        self.prof.exit();
+        self.prof.enter("retire");
         self.retire_stage();
+        self.prof.exit();
         chk!("retire");
+        self.prof.enter("fetch");
         // If the window fully drained while fetch was stalled on a dead-end
         // wrong path, restart fetch from the committed state.
         if self.fetch.stalled
@@ -411,9 +482,15 @@ impl<'p, P: Probe> Pipeline<'p, P> {
             self.fetch.stalled = false;
         }
         self.fetch_stage();
+        self.prof.exit();
         chk!("fetch");
+        self.prof.enter("issue");
         self.issue_stage();
+        self.prof.exit();
         chk!("issue");
+        let recovery_busy = !matches!(self.seq, Sequencer::Normal) || !self.pending.is_empty();
+        self.activity
+            .end_cycle(self.rob.len() as u32, recovery_busy);
         self.probe.record(
             self.now,
             Event::CycleEnd {
@@ -606,6 +683,7 @@ impl<'p, P: Probe> Pipeline<'p, P> {
     fn fetch_one(&mut self, inst: Inst) {
         let pc = self.fetch.pc;
         let class = inst.class();
+        self.activity.cur_fetched += 1;
         self.probe.record(self.now, Event::Fetch { pc: pc.0 });
 
         // Predecessor in logical order (for oracle tagging).

@@ -4,9 +4,9 @@ use crate::engine::{EState, Pipeline};
 use crate::rob::InstId;
 use ci_emu::exec::{alu_result, branch_taken, effective_addr};
 use ci_isa::InstClass;
-use ci_obs::{Event, Probe, ReissueKind};
+use ci_obs::{Event, Probe, Profiler, ReissueKind};
 
-impl<P: Probe> Pipeline<'_, P> {
+impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     /// Select and issue up to `width` ready instructions, oldest first.
     /// Instructions remain in the window and may issue again after
     /// invalidation (selective reissue, Section 3.2.4).
@@ -25,6 +25,7 @@ impl<P: Probe> Pipeline<'_, P> {
             }
             picked.push(id);
         }
+        self.activity.cur_issued += picked.len() as u32;
         for id in picked {
             self.execute(id);
         }
@@ -168,6 +169,7 @@ impl<P: Probe> Pipeline<'_, P> {
                 e.state = EState::Done;
                 (e.dest, e.class, e.dspec, e.result, e.pc)
             };
+            self.activity.cur_completed += 1;
             self.probe.record(self.now, Event::Complete { pc: pc.0 });
             if let Some((_, p)) = dest {
                 self.regs.write(p, result, dspec);

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activity;
 mod cache;
 mod config;
 mod engine;
@@ -57,6 +58,7 @@ mod retire;
 pub mod rob;
 mod stats;
 
+pub use activity::CycleActivity;
 pub use cache::DataCache;
 pub use config::{
     CacheModel, CompletionModel, PipelineConfig, Preemption, ReconStrategy, RedispatchMode,
@@ -109,4 +111,50 @@ pub fn simulate_probed<P: ci_obs::Probe>(
     let mut p = Pipeline::with_probe(program, config, max_insts, probe)?;
     let stats = p.run();
     Ok((stats, p.into_probe()))
+}
+
+/// Everything a profiled simulation produces: the simulated statistics plus
+/// the host-side measurements ([`simulate_profiled`]).
+#[derive(Debug)]
+pub struct ProfiledRun<P, F> {
+    /// The simulated machine's statistics — bit-identical to an unprofiled
+    /// run of the same cell.
+    pub stats: Stats,
+    /// The probe, with whatever it accumulated.
+    pub probe: P,
+    /// The profiler holding the per-stage host-time span tree.
+    pub profiler: F,
+    /// Per-cycle stage-activity counters.
+    pub activity: CycleActivity,
+}
+
+/// Like [`simulate_probed`], but additionally attributes the simulator's
+/// *host* wall time to pipeline stages through `profiler` and collects
+/// per-cycle stage-activity counters.
+///
+/// The span tree has a `"setup"` root covering architectural-reference
+/// construction (with the functional emulation under `"emu_trace"`) and a
+/// `"cycle_loop"` root whose children are the per-stage spans: `complete`,
+/// `recovery`, `retire`, `fetch` (which includes dispatch), and `issue`
+/// (which includes execution). Profilers observe host time only — the
+/// simulated machine and its [`Stats`] are unchanged.
+///
+/// # Errors
+/// Propagates [`EmuError`] if the program's correct path leaves the program.
+pub fn simulate_profiled<P: ci_obs::Probe, F: ci_obs::Profiler>(
+    program: &Program,
+    config: PipelineConfig,
+    max_insts: u64,
+    probe: P,
+    profiler: F,
+) -> Result<ProfiledRun<P, F>, EmuError> {
+    let mut p = Pipeline::with_probe_and_profiler(program, config, max_insts, probe, profiler)?;
+    let stats = p.run();
+    let (probe, profiler, activity) = p.into_parts();
+    Ok(ProfiledRun {
+        stats,
+        probe,
+        profiler,
+        activity,
+    })
 }

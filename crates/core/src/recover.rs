@@ -8,9 +8,9 @@ use crate::engine::{
 use crate::rob::{InstId, SegCursor};
 use ci_bpred::TfrIndexing;
 use ci_isa::{InstClass, Pc};
-use ci_obs::{Event, Probe, ReissueKind};
+use ci_obs::{Event, Probe, Profiler, ReissueKind};
 
-impl<P: Probe> Pipeline<'_, P> {
+impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     /// Scan for control instructions whose execution disagrees with the path
     /// in the window, gated by the branch-completion model (Appendix A.2).
     pub(crate) fn detect_mispredictions(&mut self) {

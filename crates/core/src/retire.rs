@@ -3,9 +3,9 @@
 
 use crate::engine::{EState, Pipeline, Sequencer};
 use ci_isa::InstClass;
-use ci_obs::{Event, Probe};
+use ci_obs::{Event, Probe, Profiler};
 
-impl<P: Probe> Pipeline<'_, P> {
+impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     /// Retire up to `width` instructions in order. An instruction retires
     /// only when it has completed with final values and its successor in the
     /// window agrees with its computed next PC (pending recoveries therefore
@@ -160,6 +160,7 @@ impl<P: Probe> Pipeline<'_, P> {
                 },
             );
             self.stats.retired += 1;
+            self.activity.cur_retired += 1;
             self.rob.remove(head);
         }
     }

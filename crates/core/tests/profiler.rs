@@ -1,0 +1,113 @@
+//! The profiler observes; it never steers. A profiled run must retire the
+//! same machine, cycle for cycle, as an unprofiled one, while the span tree
+//! and activity counters account for the work that was done.
+
+use ci_core::{simulate, simulate_profiled, PipelineConfig};
+use ci_obs::{NoopProbe, NoopProfiler, SpanProfiler};
+use ci_workloads::{Workload, WorkloadParams};
+
+const SCALE: u32 = 400;
+const MAX_INSTS: u64 = 30_000;
+
+#[test]
+fn profiled_stats_are_bit_identical() {
+    for wl in [Workload::GoLike, Workload::CompressLike] {
+        let program = wl.build(&WorkloadParams {
+            scale: SCALE,
+            seed: 7,
+        });
+        for cfg in [PipelineConfig::base(256), PipelineConfig::ci(256)] {
+            let plain = simulate(&program, cfg, MAX_INSTS).unwrap();
+            let noop = simulate_profiled(&program, cfg, MAX_INSTS, NoopProbe, NoopProfiler)
+                .unwrap()
+                .stats;
+            let spanned =
+                simulate_profiled(&program, cfg, MAX_INSTS, NoopProbe, SpanProfiler::new())
+                    .unwrap()
+                    .stats;
+            assert_eq!(plain, noop, "{wl:?}: NoopProfiler changed Stats");
+            assert_eq!(plain, spanned, "{wl:?}: SpanProfiler changed Stats");
+        }
+    }
+}
+
+#[test]
+fn span_tree_covers_the_run_and_balances() {
+    let program = Workload::GccLike.build(&WorkloadParams {
+        scale: SCALE,
+        seed: 7,
+    });
+    let run = simulate_profiled(
+        &program,
+        PipelineConfig::ci(256),
+        MAX_INSTS,
+        NoopProbe,
+        SpanProfiler::new(),
+    )
+    .unwrap();
+    let prof = &run.profiler;
+    assert!(
+        prof.is_balanced(),
+        "unbalanced spans:\n{}",
+        prof.text_summary()
+    );
+    // Top level is exactly setup + cycle_loop.
+    let roots: Vec<&str> = prof.roots().iter().map(|r| r.0).collect();
+    assert_eq!(roots, ["setup", "cycle_loop"]);
+    // Every cycle passes through each stage span once.
+    let cycles = run.stats.cycles;
+    for stage in ["complete", "recovery", "retire", "fetch", "issue"] {
+        assert_eq!(prof.calls_of(stage), cycles, "{stage} span calls");
+    }
+    // The functional emulation is attributed inside setup.
+    assert_eq!(prof.calls_of("emu_trace"), 1);
+    assert!(prof.total_of("setup") >= prof.total_of("emu_trace"));
+    // Stage spans account for (almost all of) the cycle loop.
+    let stage_sum: u128 = ["complete", "recovery", "retire", "fetch", "issue"]
+        .iter()
+        .map(|s| prof.total_of(s).as_nanos())
+        .sum();
+    let loop_total = prof.total_of("cycle_loop").as_nanos();
+    assert!(
+        stage_sum * 10 >= loop_total * 5,
+        "stage spans cover {stage_sum} of {loop_total} ns"
+    );
+}
+
+#[test]
+fn activity_counters_are_consistent_with_stats() {
+    let program = Workload::JpegLike.build(&WorkloadParams {
+        scale: SCALE,
+        seed: 7,
+    });
+    let run = simulate_profiled(
+        &program,
+        PipelineConfig::ci(256),
+        MAX_INSTS,
+        NoopProbe,
+        SpanProfiler::new(),
+    )
+    .unwrap();
+    let a = &run.activity;
+    assert_eq!(a.cycles, run.stats.cycles);
+    assert_eq!(a.retired, run.stats.retired);
+    // Issue events at retirement (stats.issues) exclude squashed work, so
+    // the raw issue count is at least as large.
+    assert!(a.issued >= run.stats.issues);
+    // Everything retired was fetched and completed at least once.
+    assert!(a.fetched >= a.retired);
+    assert!(a.completed >= a.retired);
+    // Stage-active cycle counts are bounded by total cycles.
+    for n in [
+        a.fetch_cycles,
+        a.issue_cycles,
+        a.complete_cycles,
+        a.retire_cycles,
+        a.recovery_cycles,
+        a.idle_cycles,
+    ] {
+        assert!(n <= a.cycles);
+    }
+    let text = a.summary();
+    assert!(text.contains("no-progress polled cycles"), "{text}");
+}

@@ -47,4 +47,4 @@ mod sim;
 
 pub use input::{MispredictEvent, StudyInput};
 pub use model::{IdealConfig, IdealResult, ModelKind};
-pub use sim::{simulate, simulate_probed};
+pub use sim::{simulate, simulate_probed, simulate_profiled};

@@ -124,9 +124,27 @@ pub fn simulate_probed<P: Probe>(
     config: &IdealConfig,
     probe: P,
 ) -> (IdealResult, P) {
+    let (result, probe, _prof) = simulate_profiled(input, config, probe, ci_obs::NoopProfiler);
+    (result, probe)
+}
+
+/// Like [`simulate_probed`], but with the engine's host wall time recorded
+/// under an `"ideal_run"` span on `prof` (this engine is far cheaper than
+/// the detailed pipeline, so one coarse span suffices for attributing a
+/// run's time between models).
+///
+/// # Panics
+/// Panics if the simulation fails to make forward progress (an internal
+/// bug, guarded by a generous cycle cap).
+pub fn simulate_profiled<P: Probe, F: ci_obs::Profiler>(
+    input: &StudyInput,
+    config: &IdealConfig,
+    probe: P,
+    mut prof: F,
+) -> (IdealResult, P, F) {
     let n = input.len() as u32;
     if n == 0 {
-        return (IdealResult::default(), probe);
+        return (IdealResult::default(), probe, prof);
     }
     let mut sim = Sim {
         probe,
@@ -149,7 +167,9 @@ pub fn simulate_probed<P: Probe>(
         wrong_fetched: 0,
         evictions: 0,
     };
+    prof.enter("ideal_run");
     sim.run();
+    prof.exit();
     let result = IdealResult {
         cycles: sim.now,
         retired: sim.retired,
@@ -161,7 +181,7 @@ pub fn simulate_probed<P: Probe>(
         wrong_path_fetched: sim.wrong_fetched,
         evictions: sim.evictions,
     };
-    (result, sim.probe)
+    (result, sim.probe, prof)
 }
 
 impl<P: Probe> Sim<'_, P> {

@@ -457,6 +457,50 @@ mod tests {
     }
 
     #[test]
+    fn every_control_character_escapes_and_round_trips() {
+        // All 32 C0 control characters, as both values and object keys.
+        for cp in 0u32..0x20 {
+            let c = char::from_u32(cp).unwrap();
+            let s = format!("a{c}b");
+            let v = JsonValue::obj([(s.as_str(), s.as_str())]);
+            let text = v.render();
+            // The raw control byte must never appear in the output.
+            assert!(
+                text.bytes().all(|b| b >= 0x20),
+                "raw control byte 0x{cp:02x} leaked into: {text:?}"
+            );
+            let back = parse(&text).unwrap();
+            assert_eq!(
+                back.get(&s).unwrap().as_str(),
+                Some(s.as_str()),
+                "cp=0x{cp:02x}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_characters_use_short_escapes_where_standard() {
+        // The named two-character escapes, not \u00XX.
+        for (c, esc) in [
+            ('\u{08}', r"\b"),
+            ('\t', r"\t"),
+            ('\n', r"\n"),
+            ('\u{0c}', r"\f"),
+            ('\r', r"\r"),
+        ] {
+            let mut out = String::new();
+            write_escaped(&c.to_string(), &mut out);
+            assert_eq!(out, format!("\"{esc}\""));
+        }
+        // Everything else in C0 uses \u00XX.
+        let mut out = String::new();
+        write_escaped("\u{1f}", &mut out);
+        assert_eq!(out, "\"\\u001f\"");
+        // Parser rejects raw (unescaped) control characters in strings.
+        assert!(parse("\"a\u{01}b\"").is_err());
+    }
+
+    #[test]
     fn numbers() {
         assert_eq!(JsonValue::from(42u64).render(), "42");
         assert_eq!(JsonValue::from(-7i64).render(), "-7");

@@ -30,10 +30,12 @@ pub mod json;
 mod flight;
 mod metrics;
 mod probe;
+mod profile;
 mod timeline;
 
 pub use flight::FlightRecorder;
 pub use json::JsonValue;
 pub use metrics::{EventCounters, Histogram, MetricsProbe, Registry};
 pub use probe::{Event, EventKind, NoopProbe, Probe, ReissueKind};
+pub use profile::{NoopProfiler, Profiler, SpanProfiler};
 pub use timeline::{CycleRecord, TimelineProbe};

@@ -471,6 +471,23 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_histogram_quantiles_all_return_the_sample() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        h.record(42);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!(h.count(), 1);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), 42);
+        assert_eq!(h.quantile(2.0), 42);
+        assert_eq!(h.quantile(f64::NAN), 42);
+    }
+
+    #[test]
     fn quantiles_clamp_to_observed_range() {
         let mut h = Histogram::new(&[10, 100, 1000]);
         h.record(7); // bucket bound 10, but observed max is 7

@@ -12,7 +12,7 @@
 //! cache and in timing reports.
 
 use crate::memo::Memo;
-use ci_core::{simulate_probed, PipelineConfig, Stats};
+use ci_core::{simulate_probed, PipelineConfig, RedispatchMode, SquashMode, Stats};
 use ci_ideal::{simulate as simulate_ideal, IdealConfig, IdealResult, ModelKind, StudyInput};
 use ci_isa::Program;
 use ci_obs::MetricsProbe;
@@ -138,6 +138,37 @@ impl CellSpec {
                 ..
             } => format!("ideal/{}/{model:?}/w{window}", workload.name()),
             CellSpec::Study { workload, .. } => format!("study/{}", workload.name()),
+        }
+    }
+
+    /// The workload this cell simulates.
+    #[must_use]
+    pub fn workload_name(&self) -> &'static str {
+        match self {
+            CellSpec::Detailed { workload, .. }
+            | CellSpec::Ideal { workload, .. }
+            | CellSpec::Study { workload, .. } => workload.name(),
+        }
+    }
+
+    /// The configuration family: which machine this cell models, without
+    /// the workload/budget/seed dimensions. Detailed cells map to the
+    /// paper's machine names (`base`, `ci`, `ci_i`) plus the window size;
+    /// ideal cells to the model name plus window; study cells to `study`.
+    /// Joinable across `--timing` lines and `RunMetrics`.
+    #[must_use]
+    pub fn family(&self) -> String {
+        match self {
+            CellSpec::Detailed { config, .. } => {
+                let machine = match (config.squash, config.redispatch) {
+                    (SquashMode::Full, _) => "base",
+                    (SquashMode::ControlIndependence, RedispatchMode::Pipelined) => "ci",
+                    (SquashMode::ControlIndependence, RedispatchMode::Instant) => "ci_i",
+                };
+                format!("{machine}_w{}", config.window)
+            }
+            CellSpec::Ideal { model, window, .. } => format!("{model:?}_w{window}").to_lowercase(),
+            CellSpec::Study { .. } => "study".to_owned(),
         }
     }
 

@@ -4,6 +4,7 @@
 
 use crate::cell::{fnv1a, CellOutput, CellSpec, SharedInputs};
 use crate::memo::Memo;
+use crate::metrics::{CellReport, PoolReport, RunMetrics};
 use crate::persist::{output_from_json, output_to_json};
 use crate::pool::run_batch;
 use ci_core::{PipelineConfig, Stats};
@@ -62,9 +63,22 @@ impl Default for EngineOptions {
     }
 }
 
+/// One recorded cell request (computed or cache hit), with the labels that
+/// make timing data joinable with [`RunMetrics`].
+struct CellTiming {
+    spec: String,
+    label: String,
+    workload: &'static str,
+    family: String,
+    wall: Duration,
+    disposition: &'static str,
+}
+
 struct Timing {
-    /// `(canonical spec, wall time)` per computed cell, in completion order.
-    cells: Vec<(String, Duration)>,
+    /// Every cell request, in completion order.
+    cells: Vec<CellTiming>,
+    /// Pool scheduling totals across prefetch batches.
+    pool: PoolReport,
 }
 
 /// Parallel, memoizing executor of simulation [cells](CellSpec).
@@ -80,6 +94,9 @@ pub struct Engine {
     cells: Memo<String, CellOutput>,
     shared: SharedInputs,
     timing: Mutex<Timing>,
+    /// Canonical specs that were seeded from the disk cache (to classify a
+    /// later hit as `disk_hit` rather than `memo_hit`).
+    disk: Mutex<HashSet<String>>,
     computed: AtomicU64,
     hits: AtomicU64,
     corrupt: AtomicU64,
@@ -97,7 +114,11 @@ impl Engine {
             cache_dir: opts.cache_dir,
             cells: Memo::new(),
             shared: SharedInputs::new(),
-            timing: Mutex::new(Timing { cells: Vec::new() }),
+            timing: Mutex::new(Timing {
+                cells: Vec::new(),
+                pool: PoolReport::default(),
+            }),
+            disk: Mutex::new(HashSet::new()),
             computed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
@@ -177,7 +198,13 @@ impl Engine {
                 }
             })
             .collect();
-        run_batch(self.workers, jobs);
+        if jobs.is_empty() {
+            return;
+        }
+        let stats = run_batch(self.workers, jobs);
+        let mut timing = self.timing.lock().unwrap();
+        timing.pool.batches += 1;
+        timing.pool.stats.absorb(&stats);
     }
 
     /// The output of one cell, computed on the calling thread if missing.
@@ -188,13 +215,26 @@ impl Engine {
         let (out, computed) = self
             .cells
             .get_or_compute(canonical.clone(), || spec.compute(&self.shared));
-        if computed {
-            let wall = started.elapsed();
+        let wall = started.elapsed();
+        let disposition = if computed {
             self.computed.fetch_add(1, Ordering::Relaxed);
-            self.timing.lock().unwrap().cells.push((canonical, wall));
+            "computed"
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-        }
+            if self.disk.lock().unwrap().contains(&canonical) {
+                "disk_hit"
+            } else {
+                "memo_hit"
+            }
+        };
+        self.timing.lock().unwrap().cells.push(CellTiming {
+            spec: canonical,
+            label: spec.label(),
+            workload: spec.workload_name(),
+            family: spec.family(),
+            wall,
+            disposition,
+        });
         out
     }
 
@@ -287,38 +327,119 @@ impl Engine {
         r.inc("cache_corrupt_lines", self.corrupt_lines());
         let bounds: Vec<u64> = (0..=24).map(|p| 1u64 << p).collect(); // 1us..16s
         let timing = self.timing.lock().unwrap();
-        for (spec, wall) in &timing.cells {
-            let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        for t in timing.cells.iter().filter(|t| t.disposition == "computed") {
+            let us = u64::try_from(t.wall.as_micros()).unwrap_or(u64::MAX);
             r.observe("cell_wall_us", &bounds, us);
             r.inc(
-                &format!("cell_us.{:016x}", fnv1a(spec.as_bytes())),
+                &format!("cell_us.{:016x}", fnv1a(t.spec.as_bytes())),
                 us.max(1),
             );
         }
         r
     }
 
+    /// The full `--timing` export: the [`Engine::timing_registry`] lines
+    /// plus one labelled line per cell request —
+    /// `{"metric":"cell","key":..,"label":..,"workload":..,"family":..,
+    /// "wall_us":..,"disposition":"computed|memo_hit|disk_hit",...}` — so
+    /// timing data joins with [`RunMetrics`] without guesswork.
+    #[must_use]
+    pub fn timing_jsonl(&self, binary: &str) -> String {
+        let mut out = self.timing_registry().to_jsonl(&[("binary", binary)]);
+        let timing = self.timing.lock().unwrap();
+        for t in &timing.cells {
+            let line = JsonValue::obj([
+                ("metric", JsonValue::from("cell")),
+                (
+                    "key",
+                    JsonValue::Str(format!("{:016x}", fnv1a(t.spec.as_bytes()))),
+                ),
+                ("label", JsonValue::Str(t.label.clone())),
+                ("workload", t.workload.into()),
+                ("family", JsonValue::Str(t.family.clone())),
+                (
+                    "wall_us",
+                    u64::try_from(t.wall.as_micros()).unwrap_or(u64::MAX).into(),
+                ),
+                ("disposition", t.disposition.into()),
+                ("binary", binary.into()),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The run-level [`RunMetrics`] report: labelled per-cell costs
+    /// (slowest first), cache hit rates by disposition, and the pool's
+    /// scheduling statistics.
+    #[must_use]
+    pub fn run_metrics(&self, binary: &str) -> RunMetrics {
+        let timing = self.timing.lock().unwrap();
+        let mut cells: Vec<CellReport> = timing
+            .cells
+            .iter()
+            .map(|t| CellReport {
+                key: format!("{:016x}", fnv1a(t.spec.as_bytes())),
+                label: t.label.clone(),
+                workload: t.workload,
+                family: t.family.clone(),
+                wall_us: u64::try_from(t.wall.as_micros()).unwrap_or(u64::MAX),
+                disposition: t.disposition,
+            })
+            .collect();
+        cells.sort_by(|a, b| b.wall_us.cmp(&a.wall_us).then_with(|| a.key.cmp(&b.key)));
+        let disk_hits = timing
+            .cells
+            .iter()
+            .filter(|t| t.disposition == "disk_hit")
+            .count() as u64;
+        let compute_wall_us: u64 = timing
+            .cells
+            .iter()
+            .filter(|t| t.disposition == "computed")
+            .map(|t| u64::try_from(t.wall.as_micros()).unwrap_or(u64::MAX))
+            .sum();
+        RunMetrics {
+            binary: binary.to_owned(),
+            workers: self.workers,
+            cells_computed: self.cells_computed(),
+            memo_hits: self.cache_hits().saturating_sub(disk_hits),
+            disk_hits,
+            cells_loaded: self.cells_loaded(),
+            corrupt_lines: self.corrupt_lines(),
+            compute_wall_us,
+            cells,
+            pool: timing.pool.clone(),
+        }
+    }
+
     /// Human-readable timing summary: totals plus the `n` slowest cells.
     #[must_use]
     pub fn timing_summary(&self, n: usize) -> String {
         let timing = self.timing.lock().unwrap();
-        let total: Duration = timing.cells.iter().map(|(_, d)| *d).sum();
-        let mut slowest: Vec<&(String, Duration)> = timing.cells.iter().collect();
-        slowest.sort_by_key(|&&(_, wall)| std::cmp::Reverse(wall));
+        let computed: Vec<&CellTiming> = timing
+            .cells
+            .iter()
+            .filter(|t| t.disposition == "computed")
+            .collect();
+        let total: Duration = computed.iter().map(|t| t.wall).sum();
+        let mut slowest = computed.clone();
+        slowest.sort_by_key(|t| std::cmp::Reverse(t.wall));
         let mut out = format!(
             "cells: {} computed ({:.2}s simulated), {} cache hits, {} loaded from disk, {} corrupt lines, {} workers\n",
-            timing.cells.len(),
+            computed.len(),
             total.as_secs_f64(),
             self.cache_hits(),
             self.cells_loaded(),
             self.corrupt_lines(),
             self.workers,
         );
-        for (spec, wall) in slowest.into_iter().take(n) {
+        for t in slowest.into_iter().take(n) {
             out.push_str(&format!(
                 "  {:>9.1}ms  {}\n",
-                wall.as_secs_f64() * 1e3,
-                spec
+                t.wall.as_secs_f64() * 1e3,
+                t.spec
             ));
         }
         out
@@ -334,6 +455,7 @@ impl Engine {
             }
             match parse_cache_line(line) {
                 Some((spec, output)) => {
+                    self.disk.lock().unwrap().insert(spec.clone());
                     self.cells.seed(spec, output);
                     self.loaded.fetch_add(1, Ordering::Relaxed);
                 }

@@ -31,9 +31,12 @@
 pub mod cell;
 pub mod engine;
 pub mod memo;
+pub mod metrics;
 pub mod persist;
 pub mod pool;
 
 pub use cell::{fnv1a, CellKey, CellOutput, CellSpec, SharedInputs};
 pub use engine::{Engine, EngineOptions, CACHE_FILE};
 pub use memo::Memo;
+pub use metrics::{CellReport, PoolReport, RunMetrics};
+pub use pool::PoolStats;

@@ -47,8 +47,9 @@ pub mod experiments;
 /// Convenient re-exports for typical use.
 pub mod prelude {
     pub use ci_core::{
-        simulate, simulate_probed, CacheModel, CompletionModel, Pipeline, PipelineConfig,
-        Preemption, ReconStrategy, RedispatchMode, RepredictMode, SquashMode, Stats,
+        simulate, simulate_probed, simulate_profiled, CacheModel, CompletionModel, CycleActivity,
+        Pipeline, PipelineConfig, Preemption, ProfiledRun, ReconStrategy, RedispatchMode,
+        RepredictMode, SquashMode, Stats,
     };
     pub use ci_emu::{run_trace, Emulator, Trace};
     pub use ci_ideal::{
@@ -56,10 +57,10 @@ pub mod prelude {
     };
     pub use ci_isa::{Addr, Asm, Inst, InstClass, Pc, Program, Reg};
     pub use ci_obs::{
-        Event, EventKind, FlightRecorder, Histogram, MetricsProbe, NoopProbe, Probe, Registry,
-        TimelineProbe,
+        Event, EventKind, FlightRecorder, Histogram, MetricsProbe, NoopProbe, NoopProfiler, Probe,
+        Profiler, Registry, SpanProfiler, TimelineProbe,
     };
     pub use ci_report::Table;
-    pub use ci_runner::{CellOutput, CellSpec, Engine, EngineOptions};
+    pub use ci_runner::{CellOutput, CellSpec, Engine, EngineOptions, RunMetrics};
     pub use ci_workloads::{random_program, Workload, WorkloadParams};
 }
