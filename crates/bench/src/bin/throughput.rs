@@ -16,10 +16,13 @@
 //! subject under measurement is the simulator itself. `--reps <n>` takes the
 //! best of `n` runs per cell to shave scheduler noise. The gate compares the
 //! geometric-mean MIPS against `--baseline <path>` and exits nonzero on a
-//! drop beyond `--tolerance <pct>` (default 25%); `UPDATE_BENCH_BASELINE=1`
-//! rewrites the baseline instead of comparing. MIPS varies with the host, so
-//! the gate is deliberately loose — it catches order-of-magnitude
-//! regressions, not percent-level drift.
+//! drop beyond `--tolerance <pct>` (default 10%); `UPDATE_BENCH_BASELINE=1`
+//! rewrites the baseline instead of comparing. The baseline is a *ratchet*:
+//! re-blessing refuses to lower `geomean_mips` unless
+//! `FORCE_BENCH_BASELINE=1` is also set, so performance wins stay locked in
+//! and a revert of an optimization fails the gate rather than silently
+//! re-blessing it away. MIPS still varies with the host, which is what the
+//! tolerance absorbs — percent-level drift belongs to the Criterion bench.
 
 use ci_bench::cli::Cli;
 use control_independence::ci_obs::{json, JsonValue};
@@ -77,7 +80,7 @@ fn main() {
                     std::process::exit(2);
                 })
         })
-        .unwrap_or(25.0);
+        .unwrap_or(10.0);
     let baseline_path = flag_value(args, "--baseline");
 
     let instructions = scale.instructions;
@@ -167,6 +170,23 @@ fn main() {
     let mut gate_failed = false;
     if let Some(path) = baseline_path {
         if std::env::var("UPDATE_BENCH_BASELINE").is_ok_and(|v| v == "1") {
+            // Ratchet: never bless a slower baseline by accident. Moving to
+            // a slower host (or accepting a real slowdown) needs the
+            // explicit FORCE_BENCH_BASELINE=1 override.
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(old) = json::parse(&text)
+                    .ok()
+                    .and_then(|b| b.get("geomean_mips").and_then(JsonValue::as_f64))
+                {
+                    let forced = std::env::var("FORCE_BENCH_BASELINE").is_ok_and(|v| v == "1");
+                    assert!(
+                        geomean >= old || forced,
+                        "refusing to ratchet the baseline DOWN: measured geomean \
+                         {geomean:.3} MIPS < blessed {old:.3}. Set FORCE_BENCH_BASELINE=1 \
+                         to accept a slower baseline."
+                    );
+                }
+            }
             let mut body = report.render();
             body.push('\n');
             std::fs::write(&path, body)

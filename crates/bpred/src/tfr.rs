@@ -113,9 +113,19 @@ pub struct CoveragePoint {
 /// assert_eq!(curve[0].cum_false, 1.0);
 /// assert_eq!(curve[0].cum_true, 0.0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct TfrStats {
     counts: HashMap<u64, (u64, u64)>, // key -> (true, false)
+}
+
+impl std::fmt::Debug for TfrStats {
+    /// Renders entries sorted by key: `HashMap` iteration order varies per
+    /// process, and golden fixtures fingerprint debug output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.entries().into_iter().map(|(k, t, fa)| (k, (t, fa))))
+            .finish()
+    }
 }
 
 impl TfrStats {

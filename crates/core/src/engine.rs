@@ -12,6 +12,7 @@ use crate::recon::ReconDetector;
 use crate::regfile::{MapTable, PhysReg, PhysRegFile};
 use crate::rob::{InstId, Rob, SegCursor};
 use crate::stats::Stats;
+use crate::wakeup::Wakeup;
 use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack, TfrTable};
 use ci_emu::{run_trace_profiled, DynInst, EmuError, Memory};
 use ci_isa::{Addr, Inst, InstClass, Pc, Program, Reg};
@@ -182,6 +183,15 @@ pub struct Pipeline<'p, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     pub(crate) pending: Vec<PendingRecovery>,
     pub(crate) now: u64,
     pub(crate) stats: Stats,
+    /// Event-driven wakeup state (completion heap, waiter/consumer chains,
+    /// ready set, membership sets, SoA status columns).
+    pub(crate) wake: Wakeup,
+    // Reusable scratch buffers, pooled so nested drains (a squash cascading
+    // inside a drain) can each check one out: the cycle loop allocates
+    // nothing in steady state.
+    pub(crate) scratch_ids: Vec<Vec<InstId>>,
+    pub(crate) scratch_keyed: Vec<Vec<(u64, InstId)>>,
+    pub(crate) scratch_found: Vec<PendingRecovery>,
 }
 
 impl<'p> Pipeline<'p> {
@@ -288,7 +298,107 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
             pending: Vec::new(),
             now: 0,
             stats: Stats::default(),
+            wake: Wakeup::default(),
+            scratch_ids: Vec::new(),
+            scratch_keyed: Vec::new(),
+            scratch_found: Vec::new(),
         })
+    }
+
+    /// Check an id scratch buffer out of the pool.
+    pub(crate) fn take_ids(&mut self) -> Vec<InstId> {
+        self.scratch_ids.pop().unwrap_or_default()
+    }
+
+    /// Return an id scratch buffer to the pool.
+    pub(crate) fn put_ids(&mut self, mut v: Vec<InstId>) {
+        v.clear();
+        self.scratch_ids.push(v);
+    }
+
+    /// Check a keyed scratch buffer out of the pool.
+    pub(crate) fn take_keyed(&mut self) -> Vec<(u64, InstId)> {
+        self.scratch_keyed.pop().unwrap_or_default()
+    }
+
+    /// Return a keyed scratch buffer to the pool.
+    pub(crate) fn put_keyed(&mut self, mut v: Vec<(u64, InstId)>) {
+        v.clear();
+        self.scratch_keyed.push(v);
+    }
+
+    /// Change an entry's execution state, keeping the wakeup columns in sync.
+    /// Every state assignment goes through here; nothing writes
+    /// `Entry::state` directly.
+    pub(crate) fn set_state(&mut self, id: InstId, state: EState) {
+        self.rob.get_mut(id).state = state;
+        self.wake.note_state(id, state);
+    }
+
+    /// Clear an entry's path-consistency flag so misprediction detection
+    /// re-examines it, (re-)registering control instructions on the
+    /// unsettled watch list. Every `resolved = false` goes through here.
+    pub(crate) fn mark_unresolved(&mut self, id: InstId) {
+        let e = self.rob.get_mut(id);
+        e.resolved = false;
+        if e.class.is_control() && e.class != InstClass::Halt {
+            self.wake.watch_ctrl(id);
+        }
+    }
+
+    /// Remove an entry from the window (retirement or squash), clearing its
+    /// wakeup registrations. Chains and sets holding the id are *not*
+    /// searched — they validate generational ids at drain time (the
+    /// squash-vs-drain rule); only the address map is eagerly deregistered,
+    /// and the chains of the entry's own destination register are recycled
+    /// (that register can never be written again, so they would never
+    /// drain).
+    pub(crate) fn remove_entry(&mut self, id: InstId) -> Entry {
+        self.wake.deregister_load(id);
+        if let Some((_, p)) = self.rob.get(id).dest {
+            self.wake.discard_chains(p.0);
+        }
+        self.wake.note_removed(id);
+        self.rob.remove(id)
+    }
+
+    /// Decide how a `Waiting` entry waits for issue: young entries stay in
+    /// the age queue, entries with a not-ready source park on that source's
+    /// waiter chain, issueable entries join the ready set.
+    pub(crate) fn classify_for_issue(&mut self, id: InstId) {
+        if !self.rob.alive(id) {
+            return;
+        }
+        let e = self.rob.get(id);
+        if e.state != EState::Waiting {
+            return;
+        }
+        if self.now < e.fetched_at + 2 {
+            return; // still owned by the age queue
+        }
+        let not_ready = e
+            .srcs
+            .iter()
+            .flatten()
+            .find(|s| !self.regs.ready(s.phys))
+            .map(|s| s.phys);
+        match not_ready {
+            Some(p) => {
+                // Parking is only useful while the producer can still write
+                // the register. A dead producer's register never becomes
+                // ready, so the entry stays dormant (exactly as the old
+                // issue scan would never have picked it) until a redispatch
+                // remap or squash re-enters it here.
+                if self
+                    .wake
+                    .producer_of(p.0)
+                    .is_some_and(|pid| self.rob.alive(pid))
+                {
+                    self.wake.park_waiter(p.0, id);
+                }
+            }
+            None => self.wake.mark_ready(id),
+        }
     }
 
     /// Number of instructions on the architectural reference path.
@@ -797,12 +907,12 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
             reg_reissues: 0,
         };
 
-        match &self.seq {
+        let id = match &self.seq {
             Sequencer::Restart(rs) => {
                 let cursor = rs.cursor;
                 let mut seg = rs.seg;
                 // The cursor's successor changes: re-check consistency.
-                self.rob.get_mut(cursor).resolved = false;
+                self.mark_unresolved(cursor);
                 let id = self.rob.insert_after(cursor, entry, &mut seg);
                 if let Sequencer::Restart(rs) = &mut self.seq {
                     rs.seg = seg;
@@ -810,17 +920,32 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
                     rs.inserted += 1;
                 }
                 self.stats.inserted += 1;
+                id
             }
             _ => {
                 // The former tail's successor changes: its path consistency
                 // must be re-checked (it may have resolved against the bare
                 // fetch PC).
                 if let Some(t) = self.rob.tail() {
-                    self.rob.get_mut(t).resolved = false;
+                    self.mark_unresolved(t);
                 }
-                self.rob.push_back(entry);
+                self.rob.push_back(entry)
             }
+        };
+        // Dispatch-side wakeup registration: state column, the producer of
+        // the destination register, the control watch list, the store set,
+        // and the issue age queue (issueable at +2).
+        self.wake.note_state(id, EState::Waiting);
+        if let Some((_, p)) = dest {
+            self.wake.set_producer(p.0, id);
         }
+        if class.is_control() && class != InstClass::Halt {
+            self.wake.watch_ctrl(id);
+        }
+        if class == InstClass::Store {
+            self.wake.add_store(id);
+        }
+        self.wake.push_young(self.now + 2, id);
         self.probe.record(self.now, Event::Dispatch { pc: pc.0 });
         self.fetch.pc = next;
     }

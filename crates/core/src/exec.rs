@@ -1,7 +1,18 @@
 //! Issue, execution, writeback and value-driven selective reissue.
+//!
+//! All three stages are event-driven: the issue stage picks from a ready
+//! set fed by the age queue and waiter chains, writeback pops a completion
+//! heap instead of scanning for finished executions, and the reissue
+//! cascades drain per-register consumer chains / per-address load lists.
+//! Every drain snapshots its candidates, filters them with the exact
+//! predicate the old full-window walk used, sorts the survivors by window
+//! key, and re-checks liveness while processing — so the observable event
+//! stream is byte-identical to the walk-based implementation
+//! (`tests/rob_equivalence.rs` pins this).
 
 use crate::engine::{EState, Pipeline};
 use crate::rob::InstId;
+use crate::wakeup::Status;
 use ci_emu::exec::{alu_result, branch_taken, effective_addr};
 use ci_isa::InstClass;
 use ci_obs::{Event, Probe, Profiler, ReissueKind};
@@ -11,10 +22,22 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     /// Instructions remain in the window and may issue again after
     /// invalidation (selective reissue, Section 3.2.4).
     pub(crate) fn issue_stage(&mut self) {
-        let mut picked: Vec<InstId> = Vec::with_capacity(self.cfg.width);
-        for id in self.rob.iter() {
-            if picked.len() >= self.cfg.width {
-                break;
+        // Entries whose two-cycle age gate opens now become candidates.
+        let mut due = self.take_ids();
+        self.wake.take_due_young(self.now, &mut due);
+        for id in due.drain(..) {
+            self.classify_for_issue(id);
+        }
+        self.put_ids(due);
+
+        // Validate the ready set against the full issue predicate and order
+        // the survivors by window position. The set may hold stale ids
+        // (squashed entries, lapsed flags); the predicate filters them.
+        let mut cands = self.take_keyed();
+        for i in 0..self.wake.ready.len() {
+            let id = self.wake.ready[i];
+            if !self.wake.is_ready_flagged(id) || !self.rob.alive(id) {
+                continue;
             }
             let e = self.rob.get(id);
             if e.state != EState::Waiting || self.now < e.fetched_at + 2 {
@@ -23,12 +46,23 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             if !e.srcs.iter().flatten().all(|s| self.regs.ready(s.phys)) {
                 continue;
             }
-            picked.push(id);
+            cands.push((self.rob.key(id), id));
         }
-        self.activity.cur_issued += picked.len() as u32;
-        for id in picked {
+        cands.sort_unstable();
+        cands.dedup();
+        cands.truncate(self.cfg.width);
+        self.activity.cur_issued += cands.len() as u32;
+        for &(_, id) in &cands {
+            self.wake.clear_ready(id);
             self.execute(id);
         }
+        self.put_keyed(cands);
+
+        // Compact the ready vector: entries that issued, died, or were
+        // re-parked have lost their flag.
+        let mut ready = std::mem::take(&mut self.wake.ready);
+        ready.retain(|&id| self.wake.is_ready_flagged(id));
+        self.wake.ready = ready;
     }
 
     /// Execute `id` immediately, scheduling its completion.
@@ -71,26 +105,32 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 let ea = effective_addr(a, inst.imm);
                 addr = Some(ea);
                 let key = self.rob.key(id);
-                // Youngest older Done store to the same address forwards.
-                let mut forward: Option<InstId> = None;
+                // Youngest older Done store to the same address forwards; any
+                // older store without final values makes the load data-
+                // speculative. The store membership set replaces the window
+                // walk: an unordered pass computes the same two facts.
+                let mut forward: Option<(u64, InstId)> = None;
                 let mut unknown_older_store = false;
-                for sid in self.rob.iter() {
-                    if self.rob.key(sid) >= key {
-                        break;
+                for i in 0..self.wake.stores.len() {
+                    let sid = self.wake.stores[i];
+                    if !self.rob.alive(sid) {
+                        continue;
+                    }
+                    let sk = self.rob.key(sid);
+                    if sk >= key {
+                        continue;
                     }
                     let se = self.rob.get(sid);
-                    if se.class == InstClass::Store {
-                        if se.state == EState::Done {
-                            if se.addr == Some(ea) {
-                                forward = Some(sid);
-                            }
-                        } else {
-                            unknown_older_store = true;
+                    if se.state == EState::Done {
+                        if se.addr == Some(ea) && forward.is_none_or(|(fk, _)| fk < sk) {
+                            forward = Some((sk, sid));
                         }
+                    } else {
+                        unknown_older_store = true;
                     }
                 }
                 match forward {
-                    Some(sid) => {
+                    Some((_, sid)) => {
                         result = self.rob.get(sid).result;
                         src_store = Some(sid);
                         done_at = self.now + base_latency + 1; // store-queue forward
@@ -127,17 +167,37 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             InstClass::Halt => exec_next = Some(pc.next()),
         }
 
-        let e = self.rob.get_mut(id);
-        e.state = EState::Executing { done_at };
-        e.issue_count += 1;
-        let reissue = e.issue_count > 1;
-        e.result = result;
-        e.addr = addr;
-        e.exec_next = exec_next;
-        e.taken = taken;
-        e.src_store = src_store;
-        e.dspec = dspec;
-        e.resolved = false;
+        let reissue = {
+            let e = self.rob.get_mut(id);
+            e.issue_count += 1;
+            e.result = result;
+            e.addr = addr;
+            e.exec_next = exec_next;
+            e.taken = taken;
+            e.src_store = src_store;
+            e.dspec = dspec;
+            e.issue_count > 1
+        };
+        self.set_state(id, EState::Executing { done_at });
+        self.mark_unresolved(id);
+        // Wakeup registration: the completion event, consumer membership for
+        // every source register (live producers only — a dead producer can
+        // never complete, so the registration would never drain), and the
+        // executed-load address index.
+        self.wake.schedule_completion(id, done_at);
+        for s in srcs.iter().flatten() {
+            if self
+                .wake
+                .producer_of(s.phys.0)
+                .is_some_and(|pid| self.rob.alive(pid))
+            {
+                self.wake.add_consumer(s.phys.0, id);
+            }
+        }
+        if class == InstClass::Load {
+            self.wake
+                .register_load(id, addr.expect("executed load has addr"));
+        }
         self.probe
             .record(self.now, Event::Issue { pc: pc.0, reissue });
     }
@@ -146,60 +206,107 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     /// results, cascade invalidations to consumers that issued under stale
     /// versions, and run memory-ordering checks for stores.
     pub(crate) fn writeback(&mut self) {
-        let finishing: Vec<InstId> = self
-            .rob
-            .iter()
-            .filter(|&id| {
-                matches!(self.rob.get(id).state, EState::Executing { done_at } if done_at <= self.now)
-            })
-            .collect();
-        for id in finishing {
-            // A cascade from an earlier completion this cycle may have
-            // invalidated or even squashed this entry (restart
-            // cancellation); its in-flight execution is dropped.
-            if !self.rob.alive(id) {
-                continue;
+        // Compact the store membership set (squashed stores drop out); done
+        // here so disambiguation passes stay proportional to live stores.
+        {
+            let rob = &self.rob;
+            self.wake.stores.retain(|&s| rob.alive(s));
+        }
+        let mut due = self.take_ids();
+        self.wake.take_due_completions(self.now, &mut due);
+        if due.is_empty() {
+            self.put_ids(due);
+            return;
+        }
+        // Snapshot-filter: events are candidates; an entry re-issued with a
+        // different completion cycle, squashed, or already completed is
+        // stale. Survivors are processed in window order, exactly as the
+        // old full scan visited them, with a liveness re-check because a
+        // cascade from an earlier completion this cycle may invalidate or
+        // even squash (restart cancellation) a later one.
+        // The filter reads the packed status/done_at columns (kept in sync
+        // by `set_state`), not the entry payloads.
+        let mut cands = self.take_keyed();
+        for &id in &due {
+            if self.rob.alive(id)
+                && self.wake.status_of(id) == Status::Executing
+                && self.wake.done_at_of(id) <= self.now
+            {
+                cands.push((self.rob.key(id), id));
             }
-            if !matches!(self.rob.get(id).state, EState::Executing { done_at } if done_at <= self.now)
+        }
+        self.put_ids(due);
+        cands.sort_unstable();
+        cands.dedup();
+        for &(_, id) in &cands {
+            if !self.rob.alive(id)
+                || self.wake.status_of(id) != Status::Executing
+                || self.wake.done_at_of(id) > self.now
             {
                 continue;
             }
             let (dest, class, dspec, result, pc) = {
-                let e = self.rob.get_mut(id);
-                e.state = EState::Done;
+                let e = self.rob.get(id);
                 (e.dest, e.class, e.dspec, e.result, e.pc)
             };
+            self.set_state(id, EState::Done);
             self.activity.cur_completed += 1;
             self.probe.record(self.now, Event::Complete { pc: pc.0 });
             if let Some((_, p)) = dest {
                 self.regs.write(p, result, dspec);
+                self.wake_waiters_of(p);
                 self.invalidate_consumers_of(p, id);
             }
             if class == InstClass::Store {
                 self.store_violation_check(id);
             }
         }
+        self.put_keyed(cands);
+    }
+
+    /// Re-evaluate the issue wait of entries parked on a just-written
+    /// register (they become ready, or re-park on another source).
+    fn wake_waiters_of(&mut self, p: crate::regfile::PhysReg) {
+        let mut woken = self.take_ids();
+        self.wake.drain_waiters(p.0, &mut woken);
+        for id in woken.drain(..) {
+            self.classify_for_issue(id);
+        }
+        self.put_ids(woken);
     }
 
     /// Invalidate issued consumers of physical register `p` (they issued
     /// before this write and must reissue with the new value).
     fn invalidate_consumers_of(&mut self, p: crate::regfile::PhysReg, producer: InstId) {
         let pkey = self.rob.key(producer);
-        let victims: Vec<InstId> = self
-            .rob
-            .iter()
-            .filter(|&id| {
-                if id == producer || self.rob.key(id) <= pkey {
-                    return false;
-                }
-                let e = self.rob.get(id);
-                if e.state == EState::Waiting {
-                    return false;
-                }
-                e.srcs.iter().flatten().any(|s| s.phys == p)
-            })
-            .collect();
-        for v in victims {
+        let mut drained = self.take_ids();
+        self.wake.drain_consumers(p.0, &mut drained);
+        if drained.is_empty() {
+            self.put_ids(drained);
+            return;
+        }
+        let mut victims = self.take_keyed();
+        for &id in &drained {
+            if id == producer || !self.rob.alive(id) {
+                continue;
+            }
+            let k = self.rob.key(id);
+            if k <= pkey {
+                continue;
+            }
+            let e = self.rob.get(id);
+            if e.state == EState::Waiting {
+                continue;
+            }
+            if !e.srcs.iter().flatten().any(|s| s.phys == p) {
+                continue;
+            }
+            victims.push((k, id));
+        }
+        self.put_ids(drained);
+        victims.sort_unstable();
+        victims.dedup();
+        for &(_, v) in &victims {
             // Invalidating one victim can cascade (cancelled restarts squash
             // instructions), killing later victims before their turn.
             if !self.rob.alive(v) {
@@ -215,6 +322,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             );
             self.invalidate(v);
         }
+        self.put_keyed(victims);
     }
 
     /// Invalidate an issued/completed instruction so it reissues.
@@ -233,20 +341,24 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 self.reissue_loads_of_squashed_store(id);
             }
         }
-        let e = self.rob.get_mut(id);
-        if e.state == EState::Waiting {
-            return;
+        {
+            let e = self.rob.get_mut(id);
+            if e.state == EState::Waiting {
+                return;
+            }
+            if e.survived && e.saved_done {
+                e.saved_done = false;
+                e.discarded = true;
+            }
         }
-        e.state = EState::Waiting;
-        e.resolved = false;
-        if e.survived && e.saved_done {
-            e.saved_done = false;
-            e.discarded = true;
-        }
+        self.set_state(id, EState::Waiting);
+        self.mark_unresolved(id);
         // A restart whose branch is re-executing may be refilling a path the
         // new outcome contradicts: cancel it (a fresh recovery will follow
         // the re-execution if still needed).
         self.cancel_restarts_of(id);
+        // Back to the issue pool.
+        self.classify_for_issue(id);
     }
 
     /// When a store resolves (or re-resolves) its address and data: younger
@@ -255,37 +367,49 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     fn store_violation_check(&mut self, store: InstId) {
         let skey = self.rob.key(store);
         let saddr = self.rob.get(store).addr;
-        let victims: Vec<InstId> = self
-            .rob
-            .iter()
-            .filter(|&id| {
-                if self.rob.key(id) <= skey {
-                    return false;
-                }
-                let e = self.rob.get(id);
-                if e.class != InstClass::Load || e.state == EState::Waiting {
-                    return false;
-                }
-                if e.addr != saddr {
-                    return false;
-                }
-                // The load saw an older store (or memory); if its source is
-                // older than this store — including already-retired sources,
-                // which are older than anything in the window — it missed
-                // this store's value.
-                match e.src_store {
-                    Some(src) => !self.rob.alive(src) || self.rob.key(src) < skey,
-                    None => true,
-                }
-            })
-            .collect();
-        for v in victims {
+        let Some(sa) = saddr else { return };
+        let mut cand = self.take_ids();
+        self.wake.loads_at(sa, &mut cand);
+        let mut victims = self.take_keyed();
+        for &id in &cand {
+            if !self.rob.alive(id) {
+                continue;
+            }
+            let k = self.rob.key(id);
+            if k <= skey {
+                continue;
+            }
+            let e = self.rob.get(id);
+            if e.class != InstClass::Load || e.state == EState::Waiting {
+                continue;
+            }
+            if e.addr != saddr {
+                continue;
+            }
+            // The load saw an older store (or memory); if its source is
+            // older than this store — including already-retired sources,
+            // which are older than anything in the window — it missed
+            // this store's value.
+            let missed = match e.src_store {
+                Some(src) => !self.rob.alive(src) || self.rob.key(src) < skey,
+                None => true,
+            };
+            if missed {
+                victims.push((k, id));
+            }
+        }
+        self.put_ids(cand);
+        victims.sort_unstable();
+        victims.dedup();
+        for &(_, v) in &victims {
             if !self.rob.alive(v) {
                 continue;
             }
-            let e = self.rob.get_mut(v);
-            e.mem_reissues += 1;
-            let pc = e.pc;
+            let pc = {
+                let e = self.rob.get_mut(v);
+                e.mem_reissues += 1;
+                e.pc
+            };
             self.probe.record(
                 self.now,
                 Event::Reissue {
@@ -295,27 +419,45 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             );
             self.invalidate(v);
         }
+        self.put_keyed(victims);
     }
 
-    /// Loads that forwarded from a store being squashed must reissue.
+    /// Loads that forwarded from a store being squashed must reissue. Any
+    /// non-`Waiting` load with `src_store == store` executed at the store's
+    /// current address (invalidating the store repairs its loads first), so
+    /// the per-address index finds every victim.
     pub(crate) fn reissue_loads_of_squashed_store(&mut self, store: InstId) {
-        let victims: Vec<InstId> = self
-            .rob
-            .iter()
-            .filter(|&id| {
-                let e = self.rob.get(id);
-                e.class == InstClass::Load
-                    && e.state != EState::Waiting
-                    && e.src_store == Some(store)
-            })
-            .collect();
-        for v in victims {
+        let Some(sa) = self.rob.get(store).addr else {
+            return;
+        };
+        let mut cand = self.take_ids();
+        self.wake.loads_at(sa, &mut cand);
+        let mut victims = self.take_keyed();
+        for &id in &cand {
+            if !self.rob.alive(id) {
+                continue;
+            }
+            let e = self.rob.get(id);
+            if e.class != InstClass::Load || e.state == EState::Waiting {
+                continue;
+            }
+            if e.src_store != Some(store) {
+                continue;
+            }
+            victims.push((self.rob.key(id), id));
+        }
+        self.put_ids(cand);
+        victims.sort_unstable();
+        victims.dedup();
+        for &(_, v) in &victims {
             if !self.rob.alive(v) {
                 continue;
             }
-            let e = self.rob.get_mut(v);
-            e.mem_reissues += 1;
-            let pc = e.pc;
+            let pc = {
+                let e = self.rob.get_mut(v);
+                e.mem_reissues += 1;
+                e.pc
+            };
             self.probe.record(
                 self.now,
                 Event::Reissue {
@@ -325,5 +467,6 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             );
             self.invalidate(v);
         }
+        self.put_keyed(victims);
     }
 }

@@ -57,6 +57,7 @@ mod regfile;
 mod retire;
 pub mod rob;
 mod stats;
+mod wakeup;
 
 pub use activity::CycleActivity;
 pub use cache::DataCache;

@@ -16,19 +16,42 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     pub(crate) fn detect_mispredictions(&mut self) {
         let in_order = self.cfg.completion.in_order();
         let non_dspec = self.cfg.completion.non_dspec();
-        let mut older_unsettled = false;
-        let mut found: Vec<PendingRecovery> = Vec::new();
-        let mut resolved_ok: Vec<InstId> = Vec::new();
 
-        for id in self.rob.iter() {
+        // Collect the live, unsettled control instructions from the watch
+        // list (pruning dead and settled ones — a settled entry re-enters
+        // only through `mark_unresolved`, which re-watches it) and order
+        // them by window position: the walk below then sees exactly the
+        // sequence the old full scan saw, because settled entries never
+        // influenced its in-order gate.
+        let mut cands = self.take_keyed();
+        let mut watch = std::mem::take(&mut self.wake.ctrl);
+        watch.retain(|&id| {
+            if !self.wake.is_watched(id) {
+                return false;
+            }
+            if !self.rob.alive(id) {
+                // Dead id: its own flag was cleared at removal, so a set
+                // flag belongs to the slot's new tenant (watched in its own
+                // right) — drop the stale id without touching the flag.
+                return false;
+            }
             let e = self.rob.get(id);
-            if !e.class.is_control() || e.class == InstClass::Halt {
-                continue;
+            if e.state == EState::Done && e.resolved {
+                self.wake.unwatch_ctrl(id);
+                return false;
             }
-            let settled = e.state == EState::Done && e.resolved;
-            if settled {
-                continue;
-            }
+            cands.push((self.rob.key(id), id));
+            true
+        });
+        self.wake.ctrl = watch;
+        cands.sort_unstable();
+
+        let mut older_unsettled = false;
+        let mut found = std::mem::take(&mut self.scratch_found);
+        let mut resolved_ok = self.take_ids();
+
+        for &(_, id) in &cands {
+            let e = self.rob.get(id);
             let gate_order = !in_order || !older_unsettled;
             older_unsettled = true;
             if e.state != EState::Done {
@@ -84,10 +107,13 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 from_exec: true,
             });
         }
-        for id in resolved_ok {
+        for id in resolved_ok.drain(..) {
             self.rob.get_mut(id).resolved = true;
         }
-        self.pending.extend(found);
+        self.put_ids(resolved_ok);
+        self.pending.append(&mut found);
+        self.scratch_found = found;
+        self.put_keyed(cands);
     }
 
     /// Service pending recoveries, oldest first, respecting the sequencer
@@ -189,25 +215,23 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
     }
 
     /// Whether any store older than `id` has not yet resolved its address.
+    /// The store membership set replaces the window walk (order does not
+    /// matter for an existence check).
     fn has_unresolved_older_store(&self, id: InstId) -> bool {
         let key = self.rob.key(id);
-        for sid in self.rob.iter() {
-            if self.rob.key(sid) >= key {
-                return false;
+        self.wake.stores.iter().any(|&sid| {
+            self.rob.alive(sid) && self.rob.key(sid) < key && {
+                let se = self.rob.get(sid);
+                se.class == InstClass::Store && se.state != EState::Done
             }
-            let se = self.rob.get(sid);
-            if se.class == InstClass::Store && se.state != EState::Done {
-                return true;
-            }
-        }
-        false
+        })
     }
 
     /// Clear a branch's resolution flag so its path consistency is
     /// re-checked (used whenever the restart recovering it dies).
     pub(crate) fn unresolve(&mut self, id: InstId) {
         if self.rob.alive(id) {
-            self.rob.get_mut(id).resolved = false;
+            self.mark_unresolved(id);
         }
     }
 
@@ -259,20 +283,24 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
         }
     }
 
-    /// Squash all live entries strictly between `a` and `b`.
+    /// Squash all live entries strictly between `a` and `b`. Walking the
+    /// window links from `a` visits exactly the keys above it, in order, so
+    /// the cost is proportional to the victims, not the window.
     pub(crate) fn squash_between(&mut self, a: InstId, b: InstId) {
-        let (ka, kb) = (self.rob.key(a), self.rob.key(b));
-        let victims: Vec<InstId> = self
-            .rob
-            .iter()
-            .filter(|&x| {
-                let k = self.rob.key(x);
-                k > ka && k < kb
-            })
-            .collect();
-        for v in victims.into_iter().rev() {
-            self.squash_one(v);
+        let kb = self.rob.key(b);
+        let mut victims = self.take_ids();
+        let mut cur = self.rob.next(a);
+        while let Some(x) = cur {
+            if self.rob.key(x) >= kb {
+                break;
+            }
+            victims.push(x);
+            cur = self.rob.next(x);
         }
+        for i in (0..victims.len()).rev() {
+            self.squash_one(victims[i]);
+        }
+        self.put_ids(victims);
     }
 
     /// Return the sequencer to tail fetch continuing after the current tail.
@@ -297,18 +325,18 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
         }
     }
 
-    /// Remove `id` and everything younger.
+    /// Remove `id` and everything younger (a window-link walk from `id`).
     pub(crate) fn squash_suffix_from(&mut self, id: InstId) {
-        let victims: Vec<InstId> = {
-            let key = self.rob.key(id);
-            self.rob
-                .iter()
-                .filter(|&x| self.rob.key(x) >= key)
-                .collect()
-        };
-        for v in victims.into_iter().rev() {
-            self.squash_one(v);
+        let mut victims = self.take_ids();
+        let mut cur = Some(id);
+        while let Some(x) = cur {
+            victims.push(x);
+            cur = self.rob.next(x);
         }
+        for i in (0..victims.len()).rev() {
+            self.squash_one(victims[i]);
+        }
+        self.put_ids(victims);
     }
 
     /// Remove one instruction from the window, repairing loads that
@@ -329,7 +357,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
         // re-checked (a previously serviced branch may become mispredicted
         // again when its corrected successor is squashed).
         if let Some(prev) = self.rob.prev(id) {
-            self.rob.get_mut(prev).resolved = false;
+            self.mark_unresolved(prev);
         }
         // Keep an in-flight redispatch walk valid: step its cursor past the
         // entry being removed.
@@ -339,7 +367,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 rd.cursor = next;
             }
         }
-        self.rob.remove(id);
+        self.remove_entry(id);
     }
 
     /// Find the reconvergent point of the mispredicted branch `b` in the
@@ -392,8 +420,13 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             None => {
                 // Complete squash.
                 let removed = {
-                    let bk = self.rob.key(b);
-                    self.rob.iter().filter(|&x| self.rob.key(x) > bk).count() as u32
+                    let mut n = 0u32;
+                    let mut cur = self.rob.next(b);
+                    while let Some(x) = cur {
+                        n += 1;
+                        cur = self.rob.next(x);
+                    }
+                    n
                 };
                 self.probe.record(
                     self.now,
@@ -422,18 +455,20 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             }
             Some(r) => {
                 self.stats.reconverged += 1;
-                // Selective squash of the incorrect control-dependent path.
-                let victims: Vec<InstId> = {
-                    let bk = self.rob.key(b);
+                // Selective squash of the incorrect control-dependent path
+                // (a link walk from the branch to the reconvergent point).
+                let mut victims = self.take_ids();
+                {
                     let rk = self.rob.key(r);
-                    self.rob
-                        .iter()
-                        .filter(|&x| {
-                            let k = self.rob.key(x);
-                            k > bk && k < rk
-                        })
-                        .collect()
-                };
+                    let mut cur = self.rob.next(b);
+                    while let Some(x) = cur {
+                        if self.rob.key(x) >= rk {
+                            break;
+                        }
+                        victims.push(x);
+                        cur = self.rob.next(x);
+                    }
+                }
                 self.stats.removed += victims.len() as u64;
                 self.probe.record(
                     self.now,
@@ -444,9 +479,10 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                         removed: victims.len() as u32,
                     },
                 );
-                for v in victims.into_iter().rev() {
-                    self.squash_one(v);
+                for i in (0..victims.len()).rev() {
+                    self.squash_one(victims[i]);
                 }
+                self.put_ids(victims);
                 // Mark control-independent survivors (Table 2/3).
                 let mut cur = Some(r);
                 while let Some(id) = cur {
@@ -606,7 +642,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 && self.rob.next(rs.cursor) != Some(rs.recon)
             {
                 self.unresolve(rs.branch);
-                self.rob.get_mut(rs.cursor).resolved = false;
+                self.mark_unresolved(rs.cursor);
                 continue;
             }
             if self.rob.alive(rs.branch) && self.rob.alive(rs.cursor) && self.rob.alive(rs.recon) {
@@ -642,7 +678,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                     Some(p) => {
                         let pe = self.rob.get(p);
                         if pe.class.is_control() {
-                            self.rob.get_mut(p).resolved = false;
+                            self.mark_unresolved(p);
                             false
                         } else {
                             pe.pc.next() != self.rob.get(rs.recon).pc
@@ -656,7 +692,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             }
             self.unresolve(rs.branch);
             if self.rob.alive(rs.cursor) {
-                self.rob.get_mut(rs.cursor).resolved = false;
+                self.mark_unresolved(rs.cursor);
             }
             self.resume_tail_fetch();
         }
@@ -697,8 +733,14 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                         kind: ReissueKind::Register,
                     },
                 );
+                self.invalidate(id);
+            } else {
+                // A Waiting entry's sources changed under it: any parking on
+                // the old registers is stale (it self-neutralizes at drain);
+                // re-enter the issue pool against the new ones.
+                self.wake.clear_ready(id);
+                self.classify_for_issue(id);
             }
-            self.invalidate(id);
         }
         // Destination keeps its physical register; propagate the mapping.
         if let Some((r, p)) = self.rob.get(id).dest {

@@ -161,7 +161,7 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             );
             self.stats.retired += 1;
             self.activity.cur_retired += 1;
-            self.rob.remove(head);
+            self.remove_entry(head);
         }
     }
 

@@ -19,16 +19,24 @@
 //! Node handles ([`InstId`]) are generational, so stale handles held across a
 //! squash can be detected instead of silently aliasing new instructions.
 
-use std::collections::HashMap;
-
 const KEY_GAP: u64 = 1 << 20;
 
 /// Handle to a ROB node. Generational: a handle to a removed node never
 /// aliases a later node that reuses the slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstId {
     idx: u32,
     generation: u32,
+}
+
+impl InstId {
+    /// The arena slot this handle points at. Stable for the node's lifetime,
+    /// reused (under a new generation) after removal — side tables indexed
+    /// by slot must validate the full id before trusting their contents.
+    #[must_use]
+    pub fn slot(self) -> u32 {
+        self.idx
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -58,7 +66,11 @@ pub struct Rob<T> {
     tail: Option<u32>,
     len: usize,
     seg_size: usize,
-    seg_live: HashMap<u32, usize>,
+    /// Live-member count per segment id (flat — segment ids are dense).
+    seg_live: Vec<u32>,
+    /// Number of segments with at least one live member, so
+    /// [`Rob::capacity_used`] is a multiply instead of a hash-map walk.
+    live_segs: usize,
     next_seg: u32,
     tail_cursor: SegCursor,
 }
@@ -79,7 +91,8 @@ impl<T> Rob<T> {
             tail: None,
             len: 0,
             seg_size,
-            seg_live: HashMap::new(),
+            seg_live: Vec::new(),
+            live_segs: 0,
             next_seg: 0,
             tail_cursor: SegCursor::default(),
         }
@@ -102,7 +115,14 @@ impl<T> Rob<T> {
     /// segments, fragmentation makes it larger.
     #[must_use]
     pub fn capacity_used(&self) -> usize {
-        self.seg_live.len() * self.seg_size
+        self.live_segs * self.seg_size
+    }
+
+    /// Number of arena slots ever allocated (live or free). Side tables
+    /// indexed by [`InstId::slot`] size themselves against this.
+    #[must_use]
+    pub fn slot_capacity(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Oldest instruction.
@@ -180,7 +200,13 @@ impl<T> Rob<T> {
     }
 
     fn alloc_node(&mut self, data: T, key: u64, seg: u32) -> u32 {
-        *self.seg_live.entry(seg).or_insert(0) += 1;
+        if seg as usize >= self.seg_live.len() {
+            self.seg_live.resize(seg as usize + 1, 0);
+        }
+        if self.seg_live[seg as usize] == 0 {
+            self.live_segs += 1;
+        }
+        self.seg_live[seg as usize] += 1;
         self.len += 1;
         if let Some(idx) = self.free.pop() {
             let n = &mut self.nodes[idx as usize];
@@ -294,10 +320,10 @@ impl<T> Rob<T> {
             Some(nx) => self.nodes[nx as usize].prev = prev,
             None => self.tail = prev,
         }
-        let live = self.seg_live.get_mut(&seg).expect("segment tracked");
+        let live = &mut self.seg_live[seg as usize];
         *live -= 1;
         if *live == 0 {
-            self.seg_live.remove(&seg);
+            self.live_segs -= 1;
         }
         // Removing the tail-segment's tracking is not needed: if the open
         // tail segment empties, new appends still fill it (fill count is in
@@ -462,6 +488,111 @@ mod tests {
         assert_eq!(rob.capacity_used(), 2, "half-empty segment still charged");
         rob.remove(b);
         assert_eq!(rob.capacity_used(), 0);
+    }
+
+    /// Check every structural invariant of the arena list: forward and
+    /// backward links agree, keys strictly increase, head/tail match the
+    /// walk, and the live count is right.
+    fn check_links(rob: &Rob<u32>) {
+        let forward: Vec<InstId> = rob.iter().collect();
+        assert_eq!(forward.len(), rob.len());
+        assert_eq!(forward.first().copied(), rob.head());
+        assert_eq!(forward.last().copied(), rob.tail());
+        for w in forward.windows(2) {
+            assert_eq!(rob.next(w[0]), Some(w[1]));
+            assert_eq!(rob.prev(w[1]), Some(w[0]));
+            assert!(rob.key(w[0]) < rob.key(w[1]), "keys must strictly increase");
+        }
+        if let Some(h) = rob.head() {
+            assert_eq!(rob.prev(h), None);
+        }
+        if let Some(t) = rob.tail() {
+            assert_eq!(rob.next(t), None);
+        }
+    }
+
+    /// The selective-squash / restart shape: a contiguous middle run is
+    /// removed, a restart sequence refills the gap via `insert_after`, and
+    /// the index links must stay a consistent doubly linked list throughout.
+    #[test]
+    fn link_integrity_after_squash_restart_gap_fill() {
+        let mut rob = Rob::new(1);
+        let ids: Vec<InstId> = (0..16).map(|i| rob.push_back(i)).collect();
+        check_links(&rob);
+        // Squash the incorrect control-dependent region [5, 11).
+        for &id in &ids[5..11] {
+            rob.remove(id);
+        }
+        check_links(&rob);
+        assert_eq!(rob.next(ids[4]), Some(ids[11]), "gap bridged");
+        // Restart sequence fills the gap with the correct path.
+        let mut cur = SegCursor::default();
+        let mut at = ids[4];
+        let mut inserted = Vec::new();
+        for v in [100, 101, 102, 103] {
+            at = rob.insert_after(at, v, &mut cur);
+            inserted.push(at);
+            check_links(&rob);
+        }
+        assert_eq!(
+            collect(&rob),
+            vec![0, 1, 2, 3, 4, 100, 101, 102, 103, 11, 12, 13, 14, 15]
+        );
+        // Every inserted id sits between the squash boundaries in key order.
+        for &id in &inserted {
+            assert!(rob.is_before(ids[4], id) && rob.is_before(id, ids[11]));
+        }
+        // A preempting restart can squash part of the just-inserted sequence
+        // and fill again — links must survive the second round too.
+        rob.remove(inserted[2]);
+        rob.remove(inserted[3]);
+        let mut cur2 = SegCursor::default();
+        rob.insert_after(inserted[1], 200, &mut cur2);
+        check_links(&rob);
+        assert_eq!(
+            collect(&rob),
+            vec![0, 1, 2, 3, 4, 100, 101, 200, 11, 12, 13, 14, 15]
+        );
+    }
+
+    /// Deterministic churn: slots are recycled aggressively, yet no freed
+    /// handle ever aliases a live entry and every live handle keeps reading
+    /// its own payload.
+    #[test]
+    fn free_list_reuse_never_aliases_live_entries() {
+        let mut rob = Rob::new(1);
+        let mut live: Vec<(InstId, u32)> = Vec::new();
+        let mut dead: Vec<InstId> = Vec::new();
+        let mut rng = 0x5EEDu64;
+        let mut next_val = 0u32;
+        for _ in 0..600 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if !live.is_empty() && rng.is_multiple_of(3) {
+                let victim = (rng >> 16) as usize % live.len();
+                let (id, v) = live.swap_remove(victim);
+                assert_eq!(rob.remove(id), v);
+                dead.push(id);
+            } else {
+                let id = rob.push_back(next_val);
+                live.push((id, next_val));
+                next_val += 1;
+            }
+            for &(id, v) in &live {
+                assert!(rob.alive(id));
+                assert_eq!(*rob.get(id), v, "live handle reads its own payload");
+            }
+            for &id in &dead {
+                assert!(!rob.alive(id), "freed handle must stay dead across reuse");
+            }
+        }
+        // Recycling actually happened: the arena stayed far smaller than the
+        // total number of instructions pushed through it.
+        assert!(
+            rob.slot_capacity() < next_val as usize,
+            "free list reuses slots"
+        );
     }
 
     #[test]

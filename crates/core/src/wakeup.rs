@@ -1,0 +1,690 @@
+//! Event-driven wakeup state: the data-oriented side tables that replace the
+//! cycle loop's full-window walks.
+//!
+//! The pre-rewrite core re-derived everything every cycle by walking the
+//! whole ROB: which executions finish now, which consumers a completing
+//! producer invalidates, which loads a store's writeback conflicts with,
+//! which control instructions are still unsettled, which entries can issue.
+//! [`Wakeup`] keeps each of those facts *indexed* instead, maintained at the
+//! points where they change:
+//!
+//! - **Struct-of-arrays columns** (`status`, `done_at`, membership flags,
+//!   the registered load address) indexed by ROB *slot*, so the per-cycle
+//!   filters touch packed arrays instead of chasing `Option<Entry>`
+//!   payloads. The engine routes every state change through
+//!   `Pipeline::set_state`, which keeps the columns and the entry in sync.
+//! - A **completion heap** of `(done_at, seq)` events pushed at issue time;
+//!   writeback pops due events instead of scanning for them.
+//! - **Per-physical-register chains** (pooled singly-linked nodes): a
+//!   *waiter* chain of `Waiting` entries parked on a not-ready source, and a
+//!   *consumer* chain of entries that issued reading the register. Both are
+//!   drained only when the register is written.
+//! - An **age queue** of freshly dispatched entries (issueable two cycles
+//!   after fetch) and a **ready set** of issueable entries, giving the issue
+//!   stage a candidate list proportional to issueable work.
+//! - Window-membership sets for **stores** (memory disambiguation and the
+//!   `non_dspec` completion gate), **unsettled control** instructions
+//!   (misprediction detection), and a per-address map of **executed loads**
+//!   (store-violation and squashed-forwarding repair).
+//!
+//! Everything here is *lazily invalidated*: chains and sets may hold stale
+//! generational ids (squashed or re-issued entries), and every drain
+//! re-applies the exact predicate the old full-window walk used, then sorts
+//! the survivors by logical-order key. That ordering rule is what makes the
+//! rewrite byte-identical — observable processing order is window order,
+//! exactly as the walks produced it (see `tests/rob_equivalence.rs`).
+//!
+//! **Squash-vs-drain ordering rule:** registration is *by id, validated at
+//! drain time* — never eagerly deleted at squash time. A squash may run
+//! while a drain's candidate list is already snapshotted, so drains must
+//! re-check `alive` per candidate (the old walks did exactly this), and
+//! nothing may assume a chain node still names a live entry.
+
+use crate::engine::EState;
+use crate::rob::InstId;
+use ci_isa::Addr;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+const NONE: u32 = u32::MAX;
+
+/// Packed execution status, mirroring [`EState`] without the payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Status {
+    /// Slot holds no live instruction.
+    #[default]
+    Free,
+    /// Not issued, or invalidated and awaiting reissue.
+    Waiting,
+    /// Issued; `done_at` column holds the completion cycle.
+    Executing,
+    /// Executed with valid results.
+    Done,
+}
+
+/// A scheduled completion. Min-ordered by `(done_at, seq)`; the sequence
+/// number only makes the heap order total and deterministic — writeback
+/// re-sorts due candidates by window key before processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CompEvent {
+    done_at: u64,
+    seq: u64,
+    id: InstId,
+}
+
+impl Ord for CompEvent {
+    fn cmp(&self, other: &CompEvent) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.done_at, other.seq).cmp(&(self.done_at, self.seq))
+    }
+}
+
+impl PartialOrd for CompEvent {
+    fn partial_cmp(&self, other: &CompEvent) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One pooled chain node: `(entry, next)` with free-list reuse.
+#[derive(Clone, Copy, Debug)]
+struct ChainNode {
+    id: InstId,
+    next: u32,
+}
+
+/// The event-driven wakeup state. See the module docs for the protocol.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Wakeup {
+    // ---- struct-of-arrays columns, indexed by ROB slot ----
+    status: Vec<Status>,
+    done_at: Vec<u64>,
+    in_ready: Vec<bool>,
+    in_watch: Vec<bool>,
+    reg_addr: Vec<Option<Addr>>,
+    // ---- completion events ----
+    comp: BinaryHeap<CompEvent>,
+    comp_seq: u64,
+    // ---- per-physical-register chains ----
+    waiter_head: Vec<u32>,
+    consumer_head: Vec<u32>,
+    nodes: Vec<ChainNode>,
+    node_free: Vec<u32>,
+    /// The window entry that writes each physical register (registers are
+    /// allocated fresh per dispatch, so the producer never changes).
+    producer: Vec<Option<InstId>>,
+    // ---- issue candidates ----
+    young: VecDeque<(u64, InstId)>,
+    pub(crate) ready: Vec<InstId>,
+    // ---- window membership sets ----
+    pub(crate) stores: Vec<InstId>,
+    pub(crate) ctrl: Vec<InstId>,
+    loads_by_addr: HashMap<Addr, Vec<InstId>>,
+}
+
+impl Wakeup {
+    /// Grow the slot columns to cover `slot`.
+    fn ensure_slot(&mut self, slot: usize) {
+        if slot >= self.status.len() {
+            let n = slot + 1;
+            self.status.resize(n, Status::Free);
+            self.done_at.resize(n, 0);
+            self.in_ready.resize(n, false);
+            self.in_watch.resize(n, false);
+            self.reg_addr.resize(n, None);
+        }
+    }
+
+    /// Grow the per-register chain heads to cover `reg`.
+    fn ensure_reg(&mut self, reg: usize) {
+        if reg >= self.waiter_head.len() {
+            let n = reg + 1;
+            self.waiter_head.resize(n, NONE);
+            self.consumer_head.resize(n, NONE);
+            self.producer.resize(n, None);
+        }
+    }
+
+    /// Record `id` as the (sole, permanent) producer of physical register
+    /// `reg`.
+    pub(crate) fn set_producer(&mut self, reg: u32, id: InstId) {
+        self.ensure_reg(reg as usize);
+        self.producer[reg as usize] = Some(id);
+    }
+
+    /// The window entry that writes `reg`, if one was ever dispatched (the
+    /// caller checks liveness — a squashed producer means the register can
+    /// never become ready).
+    pub(crate) fn producer_of(&self, reg: u32) -> Option<InstId> {
+        self.producer.get(reg as usize).copied().flatten()
+    }
+
+    /// Recycle both chains of a register whose producer left the window:
+    /// nothing can write it anymore, so the chains would never drain.
+    pub(crate) fn discard_chains(&mut self, reg: u32) {
+        let r = reg as usize;
+        if r >= self.waiter_head.len() {
+            return;
+        }
+        for heads in [&mut self.waiter_head, &mut self.consumer_head] {
+            let mut cur = heads[r];
+            heads[r] = NONE;
+            while cur != NONE {
+                self.node_free.push(cur);
+                cur = self.nodes[cur as usize].next;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- columns
+
+    /// Record a state change for `id`. The engine calls this from
+    /// `Pipeline::set_state`; nothing else writes the status columns.
+    pub(crate) fn note_state(&mut self, id: InstId, state: EState) {
+        let slot = id.slot() as usize;
+        self.ensure_slot(slot);
+        match state {
+            EState::Waiting => self.status[slot] = Status::Waiting,
+            EState::Executing { done_at } => {
+                self.status[slot] = Status::Executing;
+                self.done_at[slot] = done_at;
+            }
+            EState::Done => self.status[slot] = Status::Done,
+        }
+    }
+
+    /// Clear every column for a slot whose instruction left the window.
+    pub(crate) fn note_removed(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        self.ensure_slot(slot);
+        self.status[slot] = Status::Free;
+        self.in_ready[slot] = false;
+        self.in_watch[slot] = false;
+        // `reg_addr` is deregistered by the engine (it needs the map list);
+        // assert the caller did so in debug builds.
+        debug_assert!(self.reg_addr[slot].is_none());
+    }
+
+    /// Packed status of a slot.
+    pub(crate) fn status_of(&self, id: InstId) -> Status {
+        self.status
+            .get(id.slot() as usize)
+            .copied()
+            .unwrap_or(Status::Free)
+    }
+
+    /// Scheduled completion cycle of a slot (valid while `Executing`).
+    pub(crate) fn done_at_of(&self, id: InstId) -> u64 {
+        self.done_at.get(id.slot() as usize).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------ completion heap
+
+    /// Schedule `id`'s completion at `done_at`.
+    pub(crate) fn schedule_completion(&mut self, id: InstId, done_at: u64) {
+        let seq = self.comp_seq;
+        self.comp_seq += 1;
+        self.comp.push(CompEvent { done_at, seq, id });
+    }
+
+    /// Pop every event due at or before `now` into `out`. Events are
+    /// *candidates*: stale ones (entry re-issued with a different `done_at`,
+    /// squashed, or already completed) must be filtered by the caller.
+    pub(crate) fn take_due_completions(&mut self, now: u64, out: &mut Vec<InstId>) {
+        while let Some(ev) = self.comp.peek() {
+            if ev.done_at > now {
+                break;
+            }
+            out.push(self.comp.pop().expect("peeked").id);
+        }
+    }
+
+    // ------------------------------------------------------------- chains
+
+    fn push_chain(
+        heads: &mut [u32],
+        nodes: &mut Vec<ChainNode>,
+        free: &mut Vec<u32>,
+        reg: usize,
+        id: InstId,
+    ) {
+        let node = ChainNode {
+            id,
+            next: heads[reg],
+        };
+        let idx = match free.pop() {
+            Some(i) => {
+                nodes[i as usize] = node;
+                i
+            }
+            None => {
+                nodes.push(node);
+                (nodes.len() - 1) as u32
+            }
+        };
+        heads[reg] = idx;
+    }
+
+    fn drain_chain(
+        heads: &mut [u32],
+        nodes: &[ChainNode],
+        free: &mut Vec<u32>,
+        reg: usize,
+        out: &mut Vec<InstId>,
+    ) {
+        let mut cur = heads[reg];
+        heads[reg] = NONE;
+        while cur != NONE {
+            let n = nodes[cur as usize];
+            out.push(n.id);
+            free.push(cur);
+            cur = n.next;
+        }
+    }
+
+    /// Park `id` (a `Waiting` entry) on the waiter chain of not-ready
+    /// register `reg`; it is re-evaluated when the register is written.
+    pub(crate) fn park_waiter(&mut self, reg: u32, id: InstId) {
+        self.ensure_reg(reg as usize);
+        Self::push_chain(
+            &mut self.waiter_head,
+            &mut self.nodes,
+            &mut self.node_free,
+            reg as usize,
+            id,
+        );
+    }
+
+    /// Register `id` as having issued reading `reg` (invalidated if the
+    /// producer completes after it).
+    pub(crate) fn add_consumer(&mut self, reg: u32, id: InstId) {
+        self.ensure_reg(reg as usize);
+        Self::push_chain(
+            &mut self.consumer_head,
+            &mut self.nodes,
+            &mut self.node_free,
+            reg as usize,
+            id,
+        );
+    }
+
+    /// Drain the waiter chain of a just-written register into `out`.
+    pub(crate) fn drain_waiters(&mut self, reg: u32, out: &mut Vec<InstId>) {
+        let r = reg as usize;
+        if r < self.waiter_head.len() {
+            Self::drain_chain(
+                &mut self.waiter_head,
+                &self.nodes,
+                &mut self.node_free,
+                r,
+                out,
+            );
+        }
+    }
+
+    /// Drain the consumer chain of a just-written register into `out`.
+    pub(crate) fn drain_consumers(&mut self, reg: u32, out: &mut Vec<InstId>) {
+        let r = reg as usize;
+        if r < self.consumer_head.len() {
+            Self::drain_chain(
+                &mut self.consumer_head,
+                &self.nodes,
+                &mut self.node_free,
+                r,
+                out,
+            );
+        }
+    }
+
+    // ------------------------------------------------------ issue candidates
+
+    /// Queue a freshly dispatched entry; it becomes an issue candidate at
+    /// `due` (fetch cycle + 2). Dispatch order keeps `due` monotone.
+    pub(crate) fn push_young(&mut self, due: u64, id: InstId) {
+        debug_assert!(self.young.back().is_none_or(|&(d, _)| d <= due));
+        self.young.push_back((due, id));
+    }
+
+    /// Move entries whose age gate opened at or before `now` into `out`.
+    pub(crate) fn take_due_young(&mut self, now: u64, out: &mut Vec<InstId>) {
+        while let Some(&(due, id)) = self.young.front() {
+            if due > now {
+                break;
+            }
+            self.young.pop_front();
+            out.push(id);
+        }
+    }
+
+    /// Put `id` in the ready set unless already there. The `in_ready` flag
+    /// is authoritative; the vector may keep stale ids until compaction.
+    pub(crate) fn mark_ready(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        self.ensure_slot(slot);
+        if !self.in_ready[slot] {
+            self.in_ready[slot] = true;
+            self.ready.push(id);
+        }
+    }
+
+    /// Drop `id`'s ready flag (it issued, died, or lost a source to a
+    /// redispatch remap). Its vector entry is removed lazily.
+    pub(crate) fn clear_ready(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        if slot < self.in_ready.len() {
+            self.in_ready[slot] = false;
+        }
+    }
+
+    /// Whether `id` currently holds the ready flag.
+    pub(crate) fn is_ready_flagged(&self, id: InstId) -> bool {
+        self.in_ready
+            .get(id.slot() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------ membership sets
+
+    /// Track a dispatched store (memory disambiguation walks only this set).
+    pub(crate) fn add_store(&mut self, id: InstId) {
+        self.stores.push(id);
+    }
+
+    /// Put a control instruction on the unsettled watch list unless already
+    /// there (`in_watch` is the membership flag; settling removes it).
+    pub(crate) fn watch_ctrl(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        self.ensure_slot(slot);
+        if !self.in_watch[slot] {
+            self.in_watch[slot] = true;
+            self.ctrl.push(id);
+        }
+    }
+
+    /// Drop the watch flag for a settled (or removed) control instruction.
+    pub(crate) fn unwatch_ctrl(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        if slot < self.in_watch.len() {
+            self.in_watch[slot] = false;
+        }
+    }
+
+    /// Whether `id` currently holds the watch flag.
+    pub(crate) fn is_watched(&self, id: InstId) -> bool {
+        self.in_watch
+            .get(id.slot() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// (Re-)register an executed load under its effective address, moving it
+    /// out of the list for a previously registered address if necessary.
+    pub(crate) fn register_load(&mut self, id: InstId, addr: Addr) {
+        let slot = id.slot() as usize;
+        self.ensure_slot(slot);
+        match self.reg_addr[slot] {
+            Some(a) if a == addr => return,
+            Some(old) => Self::remove_from_addr_list(&mut self.loads_by_addr, old, id),
+            None => {}
+        }
+        self.reg_addr[slot] = Some(addr);
+        self.loads_by_addr.entry(addr).or_default().push(id);
+    }
+
+    /// Remove `id` from the address map (called when it leaves the window).
+    pub(crate) fn deregister_load(&mut self, id: InstId) {
+        let slot = id.slot() as usize;
+        if slot >= self.reg_addr.len() {
+            return;
+        }
+        if let Some(addr) = self.reg_addr[slot].take() {
+            Self::remove_from_addr_list(&mut self.loads_by_addr, addr, id);
+        }
+    }
+
+    fn remove_from_addr_list(map: &mut HashMap<Addr, Vec<InstId>>, addr: Addr, id: InstId) {
+        if let Some(list) = map.get_mut(&addr) {
+            list.retain(|&x| x != id);
+            if list.is_empty() {
+                map.remove(&addr);
+            }
+        }
+    }
+
+    /// Copy the executed loads registered at `addr` into `out` (candidates
+    /// for store-violation / squashed-forwarding repair; caller filters).
+    pub(crate) fn loads_at(&self, addr: Addr, out: &mut Vec<InstId>) {
+        if let Some(list) = self.loads_by_addr.get(&addr) {
+            out.extend_from_slice(list);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rob::Rob;
+
+    fn ids(n: usize) -> (Rob<u32>, Vec<InstId>) {
+        let mut rob = Rob::new(1);
+        let ids = (0..n).map(|i| rob.push_back(i as u32)).collect();
+        (rob, ids)
+    }
+
+    #[test]
+    fn completion_heap_pops_in_time_order() {
+        let (_rob, ids) = ids(3);
+        let mut w = Wakeup::default();
+        w.schedule_completion(ids[0], 9);
+        w.schedule_completion(ids[1], 4);
+        w.schedule_completion(ids[2], 9);
+        let mut due = Vec::new();
+        w.take_due_completions(3, &mut due);
+        assert!(due.is_empty());
+        w.take_due_completions(4, &mut due);
+        assert_eq!(due, vec![ids[1]]);
+        due.clear();
+        w.take_due_completions(20, &mut due);
+        assert_eq!(due.len(), 2);
+    }
+
+    #[test]
+    fn chains_drain_and_reuse_nodes() {
+        let (_rob, ids) = ids(4);
+        let mut w = Wakeup::default();
+        w.park_waiter(7, ids[0]);
+        w.park_waiter(7, ids[1]);
+        w.park_waiter(3, ids[2]);
+        let mut out = Vec::new();
+        w.drain_waiters(7, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&ids[0]) && out.contains(&ids[1]));
+        out.clear();
+        w.drain_waiters(7, &mut out);
+        assert!(out.is_empty(), "drained chain is empty");
+        // Freed nodes are reused for the next registration.
+        let pool = w.nodes.len();
+        w.add_consumer(5, ids[3]);
+        assert_eq!(w.nodes.len(), pool, "free list reused a node");
+        out.clear();
+        w.drain_consumers(5, &mut out);
+        assert_eq!(out, vec![ids[3]]);
+    }
+
+    #[test]
+    fn ready_flag_deduplicates() {
+        let (_rob, ids) = ids(1);
+        let mut w = Wakeup::default();
+        w.mark_ready(ids[0]);
+        w.mark_ready(ids[0]);
+        assert_eq!(w.ready.len(), 1);
+        assert!(w.is_ready_flagged(ids[0]));
+        w.clear_ready(ids[0]);
+        assert!(!w.is_ready_flagged(ids[0]));
+        // The vector entry stays (lazy); the flag is the truth.
+        assert_eq!(w.ready.len(), 1);
+    }
+
+    #[test]
+    fn load_registration_moves_between_addresses() {
+        let (_rob, ids) = ids(2);
+        let mut w = Wakeup::default();
+        w.register_load(ids[0], Addr(8));
+        w.register_load(ids[1], Addr(8));
+        w.register_load(ids[0], Addr(16));
+        let mut at8 = Vec::new();
+        w.loads_at(Addr(8), &mut at8);
+        assert_eq!(at8, vec![ids[1]]);
+        let mut at16 = Vec::new();
+        w.loads_at(Addr(16), &mut at16);
+        assert_eq!(at16, vec![ids[0]]);
+        w.deregister_load(ids[0]);
+        at16.clear();
+        w.loads_at(Addr(16), &mut at16);
+        assert!(at16.is_empty());
+    }
+
+    // ---- rare interleavings the differential fuzzer exercised (PR 2) ----
+
+    /// A waiter chain must survive a squash of some of its members: nodes
+    /// are never eagerly deleted, the drain returns stale ids, and the
+    /// caller's alive check (here: the cleared status column) rejects them.
+    #[test]
+    fn waiter_chain_across_a_squash() {
+        let (mut rob, ids) = ids(3);
+        let mut w = Wakeup::default();
+        for &id in &ids {
+            w.note_state(id, EState::Waiting);
+            w.park_waiter(2, id);
+        }
+        // Selective squash removes the middle waiter while the chain is
+        // registered; the chain itself is untouched (squash-vs-drain rule).
+        rob.remove(ids[1]);
+        w.note_removed(ids[1]);
+        let mut out = Vec::new();
+        w.drain_waiters(2, &mut out);
+        assert_eq!(out.len(), 3, "stale ids stay registered until drain");
+        let survivors: Vec<InstId> = out
+            .into_iter()
+            .filter(|&id| w.status_of(id) != Status::Free)
+            .collect();
+        assert!(survivors.contains(&ids[0]) && survivors.contains(&ids[2]));
+        assert_eq!(
+            survivors.len(),
+            2,
+            "drain-time validation drops the dead waiter"
+        );
+    }
+
+    /// A producer's completion may drain a consumer chain in the same cycle
+    /// a squash is removing those consumers: the drain yields the squashed
+    /// id, and the status column (cleared by `note_removed`) filters it.
+    #[test]
+    fn producer_completes_while_consumers_squashed() {
+        let (mut rob, ids) = ids(3);
+        let mut w = Wakeup::default();
+        w.set_producer(9, ids[0]);
+        w.note_state(ids[1], EState::Executing { done_at: 5 });
+        w.note_state(ids[2], EState::Executing { done_at: 5 });
+        w.add_consumer(9, ids[1]);
+        w.add_consumer(9, ids[2]);
+        // The squash lands first; the producer's writeback drains after.
+        rob.remove(ids[2]);
+        w.note_removed(ids[2]);
+        let mut out = Vec::new();
+        w.drain_consumers(9, &mut out);
+        assert_eq!(out.len(), 2);
+        let live: Vec<InstId> = out
+            .into_iter()
+            .filter(|&id| w.status_of(id) != Status::Free)
+            .collect();
+        assert_eq!(live, vec![ids[1]]);
+        // When the *producer* is squashed instead, its register can never be
+        // written again: `discard_chains` recycles every node without a drain.
+        w.add_consumer(9, ids[1]);
+        w.discard_chains(9);
+        let mut empty = Vec::new();
+        w.drain_consumers(9, &mut empty);
+        assert!(empty.is_empty(), "discarded chain never drains");
+        // The recycled nodes must not alias another register's live chain.
+        w.park_waiter(4, ids[0]);
+        w.park_waiter(6, ids[1]);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        w.drain_waiters(4, &mut a);
+        w.drain_waiters(6, &mut b);
+        assert_eq!((a, b), (vec![ids[0]], vec![ids[1]]));
+    }
+
+    /// Redispatch may re-park an entry whose earlier registration was
+    /// already drained — and may even double-register it. Each registration
+    /// drains once; duplicates are the caller's (sort + dedup) problem, and
+    /// the drained chain holds nothing.
+    #[test]
+    fn redispatch_reenqueues_a_drained_waiter() {
+        let (_rob, ids) = ids(1);
+        let mut w = Wakeup::default();
+        w.note_state(ids[0], EState::Waiting);
+        w.park_waiter(3, ids[0]);
+        let mut out = Vec::new();
+        w.drain_waiters(3, &mut out);
+        assert_eq!(out, vec![ids[0]]);
+        // Redispatch finds the source still not ready and re-parks — twice
+        // (e.g. once from the remap, once from a later invalidation).
+        w.park_waiter(3, ids[0]);
+        w.park_waiter(3, ids[0]);
+        out.clear();
+        w.drain_waiters(3, &mut out);
+        assert_eq!(
+            out,
+            vec![ids[0], ids[0]],
+            "duplicates surface for caller dedup"
+        );
+        out.clear();
+        w.drain_waiters(3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// The SoA status/done_at columns mirror every `EState` transition and
+    /// are fully cleared on removal, so slot reuse starts clean.
+    #[test]
+    fn soa_columns_track_entry_state() {
+        let (mut rob, ids) = ids(1);
+        let id = ids[0];
+        let mut w = Wakeup::default();
+        w.note_state(id, EState::Waiting);
+        assert_eq!(w.status_of(id), Status::Waiting);
+        w.note_state(id, EState::Executing { done_at: 17 });
+        assert_eq!(w.status_of(id), Status::Executing);
+        assert_eq!(w.done_at_of(id), 17);
+        w.note_state(id, EState::Done);
+        assert_eq!(w.status_of(id), Status::Done);
+        w.mark_ready(id);
+        w.watch_ctrl(id);
+        rob.remove(id);
+        w.note_removed(id);
+        assert_eq!(w.status_of(id), Status::Free);
+        assert!(!w.is_ready_flagged(id));
+        assert!(!w.is_watched(id));
+        // The freed slot's next tenant sees pristine columns.
+        let reused = rob.push_back(41);
+        assert_eq!(reused.slot(), id.slot(), "arena reuses the freed slot");
+        assert_eq!(w.status_of(reused), Status::Free);
+        assert!(!w.is_ready_flagged(reused));
+    }
+
+    #[test]
+    fn young_queue_respects_age_gate() {
+        let (_rob, ids) = ids(2);
+        let mut w = Wakeup::default();
+        w.push_young(5, ids[0]);
+        w.push_young(6, ids[1]);
+        let mut out = Vec::new();
+        w.take_due_young(4, &mut out);
+        assert!(out.is_empty());
+        w.take_due_young(5, &mut out);
+        assert_eq!(out, vec![ids[0]]);
+        w.take_due_young(6, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -3,6 +3,7 @@
 //! and activity counters account for the work that was done.
 
 use ci_core::{simulate, simulate_profiled, PipelineConfig};
+use ci_isa::{Asm, Reg};
 use ci_obs::{NoopProbe, NoopProfiler, SpanProfiler};
 use ci_workloads::{Workload, WorkloadParams};
 
@@ -110,4 +111,43 @@ fn activity_counters_are_consistent_with_stats() {
     }
     let text = a.summary();
     assert!(text.contains("no-progress polled cycles"), "{text}");
+}
+
+/// The event-driven cycle loop must not fast-forward over cycles where no
+/// unit makes progress: they still tick, still run every stage span, and
+/// are counted as idle — keeping `inspect`'s stage-occupancy summaries
+/// comparable across the rewrite.
+#[test]
+fn no_progress_cycles_are_still_counted() {
+    // A chain of dependent 12-cycle divides: between one divide's issue and
+    // its completion, nothing in the machine moves.
+    let mut asm = Asm::new();
+    asm.li(Reg::R1, 1_000_000);
+    asm.li(Reg::R2, 3);
+    for _ in 0..8 {
+        asm.div(Reg::R1, Reg::R1, Reg::R2);
+    }
+    asm.halt();
+    let program = asm.assemble().unwrap();
+    let run = simulate_profiled(
+        &program,
+        PipelineConfig::base(64),
+        1_000,
+        NoopProbe,
+        SpanProfiler::new(),
+    )
+    .unwrap();
+    let a = &run.activity;
+    assert_eq!(a.cycles, run.stats.cycles, "every simulated cycle observed");
+    assert!(
+        a.idle_cycles > 0,
+        "dependent long-latency chain must expose idle cycles: {}",
+        a.summary()
+    );
+    // The stalled stretch dominates this program: most cycles are idle.
+    assert!(a.idle_cycles * 2 > a.cycles, "{}", a.summary());
+    // Idle cycles still pass through every stage span exactly once.
+    for stage in ["complete", "recovery", "retire", "fetch", "issue"] {
+        assert_eq!(run.profiler.calls_of(stage), a.cycles, "{stage} span calls");
+    }
 }

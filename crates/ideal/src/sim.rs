@@ -94,6 +94,10 @@ struct Sim<'a, P: Probe> {
     retired: u64,
     wrong_fetched: u64,
     evictions: u64,
+    /// Reusable key buffers so the cycle loop is allocation-free in steady
+    /// state (mirrors the detailed pipeline's scratch pools).
+    scratch_issue: Vec<u64>,
+    scratch_keys: Vec<u64>,
 }
 
 /// Run one idealized model over `input`.
@@ -166,6 +170,8 @@ pub fn simulate_profiled<P: Probe, F: ci_obs::Profiler>(
         retired: 0,
         wrong_fetched: 0,
         evictions: 0,
+        scratch_issue: Vec::new(),
+        scratch_keys: Vec::new(),
     };
     prof.enter("ideal_run");
     sim.run();
@@ -230,13 +236,16 @@ impl<P: Probe> Sim<'_, P> {
                     let b = self.input.events[e].branch_idx;
                     let lo = wkey(b, 0);
                     let hi = ckey(b + 1);
-                    let keys: Vec<u64> = self.window.range(lo..hi).map(|(k, _)| *k).collect();
-                    for k in keys {
+                    let mut keys = std::mem::take(&mut self.scratch_keys);
+                    keys.extend(self.window.range(lo..hi).map(|(k, _)| *k));
+                    for &k in &keys {
                         if let Some(slot) = self.window.remove(&k) {
                             let pc = self.item_pc(slot.item);
                             self.probe.record(self.now, Event::Squash { pc });
                         }
                     }
+                    keys.clear();
+                    self.scratch_keys = keys;
                 }
                 _ => i += 1,
             }
@@ -271,7 +280,7 @@ impl<P: Probe> Sim<'_, P> {
 
     fn issue(&mut self) {
         let mut issued = 0;
-        let mut to_issue: Vec<u64> = Vec::with_capacity(self.cfg.width);
+        let mut to_issue = std::mem::take(&mut self.scratch_issue);
         for (&k, slot) in &self.window {
             if issued >= self.cfg.width {
                 break;
@@ -284,7 +293,7 @@ impl<P: Probe> Sim<'_, P> {
                 issued += 1;
             }
         }
-        for k in to_issue {
+        for &k in &to_issue {
             let slot = self.window.get_mut(&k).expect("slot present");
             slot.issued = true;
             let item = slot.item;
@@ -310,6 +319,8 @@ impl<P: Probe> Sim<'_, P> {
                 }
             }
         }
+        to_issue.clear();
+        self.scratch_issue = to_issue;
     }
 
     fn exec_latency(&self, item: Item) -> u64 {

@@ -1,0 +1,156 @@
+//! Equivalence battery for the data-oriented core rewrite.
+//!
+//! The flat-arena ROB / event-driven-wakeup core must be *observably
+//! indistinguishable* from the walk-everything core it replaced: not just
+//! the same [`Stats`], but the same probe event stream, cycle for cycle and
+//! event for event (event **order within a cycle** is part of the contract —
+//! the drained-event structures must process candidates in logical window
+//! order exactly as the full walks did).
+//!
+//! Fixtures in `tests/golden/rob_equivalence.txt` were recorded against the
+//! pre-rewrite core. Each line pins one cell:
+//!
+//! ```text
+//! <workload> <machine> w<window> retired=<n> cycles=<n> stats=<fnv64> events=<fnv64>
+//! ```
+//!
+//! `stats` hashes the full `Stats` debug rendering; `events` hashes every
+//! `(cycle, Event)` pair in stream order. To bless an *intended* behavioral
+//! change (which must also re-bless the golden tables):
+//!
+//! ```text
+//! UPDATE_ROB_EQUIVALENCE=1 cargo test --test rob_equivalence
+//! ```
+
+use ci_obs::Event;
+use control_independence::prelude::{simulate_probed, PipelineConfig, Probe};
+use control_independence::prelude::{Workload, WorkloadParams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEED: u64 = 0x5EED;
+const SCALE: u32 = 60;
+const MAX_INSTS: u64 = 6_000;
+/// Three window sizes: pathological (eviction/overflow paths), the paper's
+/// small point, and the paper's headline point.
+const WINDOWS: [usize; 3] = [17, 64, 256];
+
+/// FNV-1a over the full event stream, cycle numbers included.
+struct FingerprintProbe {
+    hash: u64,
+    events: u64,
+}
+
+impl FingerprintProbe {
+    fn new() -> FingerprintProbe {
+        FingerprintProbe {
+            hash: 0xcbf2_9ce4_8422_2325,
+            events: 0,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl Probe for FingerprintProbe {
+    fn record(&mut self, cycle: u64, event: Event) {
+        self.events += 1;
+        self.absorb(&cycle.to_le_bytes());
+        // Debug formatting covers every field of every variant; any change
+        // in payload, order, or count moves the hash.
+        self.absorb(format!("{event:?}").as_bytes());
+    }
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn machine(name: &str, window: usize) -> PipelineConfig {
+    match name {
+        "base" => PipelineConfig::base(window),
+        "ci" => PipelineConfig::ci(window),
+        "ci_i" => PipelineConfig::ci_instant(window),
+        other => panic!("unknown machine {other}"),
+    }
+}
+
+fn run_battery() -> String {
+    let mut out = String::new();
+    for wl in [
+        Workload::GccLike,
+        Workload::GoLike,
+        Workload::CompressLike,
+        Workload::JpegLike,
+        Workload::VortexLike,
+    ] {
+        let program = wl.build(&WorkloadParams {
+            scale: SCALE,
+            seed: SEED,
+        });
+        for m in ["base", "ci", "ci_i"] {
+            for w in WINDOWS {
+                let (stats, probe) =
+                    simulate_probed(&program, machine(m, w), MAX_INSTS, FingerprintProbe::new())
+                        .expect("battery program emulates");
+                assert!(stats.retired > 0, "{wl:?}/{m}/w{w} retired nothing");
+                assert!(probe.events > 0, "{wl:?}/{m}/w{w} emitted no events");
+                writeln!(
+                    out,
+                    "{wl:?} {m} w{w} retired={} cycles={} stats={:016x} events={:016x}",
+                    stats.retired,
+                    stats.cycles,
+                    fnv64(&format!("{stats:?}")),
+                    probe.hash,
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn stats_and_event_streams_match_prerewrite_fingerprints() {
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "tests",
+        "golden",
+        "rob_equivalence.txt",
+    ]
+    .iter()
+    .collect();
+    let actual = run_battery();
+    if std::env::var_os("UPDATE_ROB_EQUIVALENCE").is_some() {
+        std::fs::write(&path, &actual).expect("write fixtures");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing {}; bless with UPDATE_ROB_EQUIVALENCE=1",
+            path.display()
+        )
+    });
+    // Compare line by line for a readable failure: the cell name says which
+    // workload/machine/window diverged; `events` differing while `stats`
+    // matches means the *order or shape* of pipeline actions changed even
+    // though the aggregate counters came out the same.
+    for (exp, act) in expected.lines().zip(actual.lines()) {
+        assert_eq!(exp, act, "equivalence cell diverged from pre-rewrite core");
+    }
+    assert_eq!(
+        expected.lines().count(),
+        actual.lines().count(),
+        "battery cell count changed"
+    );
+}
