@@ -1,0 +1,69 @@
+//! Cost of the fault-injection seam when disabled.
+//!
+//! The engine's injection points are guarded by one `Option<Arc<FaultPlan>>`
+//! pointer test per site. This bench runs the same cell workload through
+//! three engines — no plan (`disabled`), a plan whose every site has rate 0
+//! (`armed_inert`), and a plan injecting latency-free panics that the memo
+//! recovers from (`active` is *not* benchmarked for speed, only compiled
+//! here as a reference point) — to show the disabled path costs nothing
+//! beside multi-millisecond simulations.
+//!
+//! Acceptance bar: `disabled` and `armed_inert` within noise of each other.
+
+use ci_runner::{CellSpec, Engine, EngineOptions, FaultPlan};
+use ci_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const INSTRUCTIONS: u64 = 5_000;
+
+fn specs() -> Vec<CellSpec> {
+    Workload::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, workload)| CellSpec::Study {
+            workload,
+            instructions: INSTRUCTIONS,
+            seed: i as u64,
+        })
+        .collect()
+}
+
+fn engine(faults: Option<FaultPlan>) -> Engine {
+    Engine::new(EngineOptions {
+        workers: 1,
+        cache_dir: None,
+        faults: faults.map(Arc::new),
+    })
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRUCTIONS * 5));
+    // Fresh engine per iteration: the memo must not turn later iterations
+    // into pure cache hits, or the seam cost would vanish from both sides.
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let eng = engine(None);
+            for spec in specs() {
+                black_box(eng.cell(&spec));
+            }
+        });
+    });
+    g.bench_function("armed_inert", |b| {
+        b.iter(|| {
+            // Seeded plan, every site at rate 0: the pointer is non-null,
+            // every injection point is consulted, nothing ever fires.
+            let eng = engine(Some(FaultPlan::new(0xC1)));
+            for spec in specs() {
+                black_box(eng.cell(&spec));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `load`: deterministic load generator and verifier for `ci-serve`.
+//!
+//! Replays a seeded many-client request mix against a running daemon,
+//! optionally misbehaving on purpose (client stalls and disconnects from a
+//! `--faults` plan), and verifies the responses: exactly one terminal line
+//! per tracked request, contiguous streams, and byte-identical payloads
+//! for every occurrence of a cell. Exits non-zero if any response was
+//! lost, malformed, or nondeterministic — the CI soak job's pass/fail.
+//!
+//! Flags: `--addr A` (required), `--clients N`, `--requests N` (per
+//! client), `--seed S`, `--instructions N`, `--faults PLAN`,
+//! `--shutdown` (stop the daemon afterwards), `--report PATH` (write a
+//! `load_report/v1` JSON object).
+
+use control_independence::ci_runner::FaultPlan;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ci_serve::loadgen::{self, LoadConfig};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: load --addr A [--clients N] [--requests N] [--seed S] \
+         [--instructions N] [--faults PLAN] [--shutdown] [--report PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(text: &str, flag: &str) -> u64 {
+    let t = text.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    parsed.unwrap_or_else(|_| usage_exit(&format!("{flag} must be an integer, got `{text}`")))
+}
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| usage_exit(&format!("{flag} requires an argument")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = value(&mut args, "--addr"),
+            "--clients" => {
+                cfg.clients = parse_u64(&value(&mut args, "--clients"), "--clients") as usize;
+            }
+            "--requests" => {
+                cfg.requests_per_client =
+                    parse_u64(&value(&mut args, "--requests"), "--requests") as usize;
+            }
+            "--seed" => cfg.seed = parse_u64(&value(&mut args, "--seed"), "--seed"),
+            "--instructions" => {
+                cfg.instructions = parse_u64(&value(&mut args, "--instructions"), "--instructions");
+            }
+            "--faults" => {
+                let plan = FaultPlan::parse(&value(&mut args, "--faults"))
+                    .unwrap_or_else(|e| usage_exit(&format!("bad --faults plan: {e}")));
+                cfg.faults = Some(Arc::new(plan));
+            }
+            "--shutdown" => cfg.send_shutdown = true,
+            "--report" => report_path = Some(PathBuf::from(value(&mut args, "--report"))),
+            other => usage_exit(&format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage_exit("--addr is required");
+    }
+
+    let report = loadgen::run(&cfg);
+    eprintln!(
+        "load: {} sent ({} abandoned on purpose), {} done, {} shed, {} deadline, {} rejected, \
+         {} errors; {} cells over {} distinct; lost={} malformed={} nondeterministic={}",
+        report.sent,
+        report.abandoned,
+        report.done,
+        report.shed,
+        report.deadline,
+        report.rejected,
+        report.errors,
+        report.cells,
+        report.payloads.len(),
+        report.lost,
+        report.malformed,
+        report.nondeterministic,
+    );
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.to_json().render() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    if !report.healthy() {
+        eprintln!("load: FAILED — responses were lost, malformed, or nondeterministic");
+        std::process::exit(1);
+    }
+    eprintln!("load: healthy");
+}

@@ -1,0 +1,123 @@
+//! `ci-serve`: the fault-tolerant simulation daemon.
+//!
+//! Binds a TCP listener and serves JSONL cell/table requests from the
+//! shared experiment engine until a `shutdown` request arrives. See
+//! `ci_serve` for the protocol and supervision policy, and `DESIGN.md`
+//! ("Serving") for the fault taxonomy.
+//!
+//! Flags:
+//!
+//! - `--addr <host:port>`: listen address (default `127.0.0.1:0`; port 0
+//!   picks a free port).
+//! - `--workers <n>` / `-j <n>`: engine simulation workers.
+//! - `--serve-workers <n>`: request-processing threads (default 2).
+//! - `--cache-dir <dir>`: persistent cell cache shared with the batch
+//!   binaries.
+//! - `--faults <plan>`: deterministic fault-injection plan, e.g.
+//!   `seed=0xC1,panic=6:2,latency=9:3:4ms,cache_write=3:1` (see
+//!   `FaultPlan::parse`).
+//! - `--queue-cap <n>` / `--per-client-cap <n>`: admission-control bounds.
+//! - `--deadline-ms <n>`: default per-request deadline.
+//! - `--metrics <path>`: on shutdown, write serve + engine metrics as one
+//!   JSON object.
+//!
+//! The bound address is printed to stdout as `listening <addr>` (and
+//! flushed) so scripts using port 0 can discover it.
+
+use control_independence::ci_obs::JsonValue;
+use control_independence::ci_runner::{EngineOptions, FaultPlan};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ci_serve::{Server, ServerOptions};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: serve [--addr A] [--workers N] [--serve-workers N] [--cache-dir D] \
+         [--faults PLAN] [--queue-cap N] [--per-client-cap N] [--deadline-ms N] \
+         [--metrics PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut opts = ServerOptions {
+        engine: EngineOptions {
+            workers: 1,
+            cache_dir: None,
+            faults: None,
+        },
+        ..ServerOptions::default()
+    };
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| usage_exit(&format!("{flag} requires an argument")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value(&mut args, "--addr"),
+            "--workers" | "-j" => {
+                opts.engine.workers = value(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--workers must be a positive integer"));
+            }
+            "--serve-workers" => {
+                opts.serve_workers = value(&mut args, "--serve-workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--serve-workers must be a positive integer"));
+            }
+            "--cache-dir" => {
+                opts.engine.cache_dir = Some(PathBuf::from(value(&mut args, "--cache-dir")));
+            }
+            "--faults" => {
+                let plan = FaultPlan::parse(&value(&mut args, "--faults"))
+                    .unwrap_or_else(|e| usage_exit(&format!("bad --faults plan: {e}")));
+                opts.engine.faults = Some(Arc::new(plan));
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value(&mut args, "--queue-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--queue-cap must be a positive integer"));
+            }
+            "--per-client-cap" => {
+                opts.per_client_cap = value(&mut args, "--per-client-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--per-client-cap must be a positive integer"));
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value(&mut args, "--deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--deadline-ms must be an integer"));
+                opts.default_deadline = Duration::from_millis(ms);
+            }
+            "--metrics" => metrics_path = Some(PathBuf::from(value(&mut args, "--metrics"))),
+            other => usage_exit(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let server = Server::start(opts).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1)
+    });
+    println!("listening {}", server.local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!("ci-serve: listening on {}", server.local_addr());
+
+    server.wait();
+
+    let report = JsonValue::obj([
+        ("schema", JsonValue::from("serve_shutdown/v1")),
+        ("serve", server.metrics().to_json()),
+        ("engine", server.engine().run_metrics("ci-serve").to_json()),
+    ]);
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, report.render() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("ci-serve: drained and stopped");
+}

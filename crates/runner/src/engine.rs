@@ -3,10 +3,11 @@
 //! timing exported through the `ci-obs` metrics layer.
 
 use crate::cell::{fnv1a, CellOutput, CellSpec, SharedInputs};
+use crate::fault::FaultPlan;
 use crate::memo::Memo;
 use crate::metrics::{CellReport, PoolReport, RunMetrics};
-use crate::persist::{output_from_json, output_to_json};
-use crate::pool::run_batch;
+use crate::persist::{output_from_json, output_to_json, quarantine_cache_file};
+use crate::pool::{run_batch, run_batch_catching, PoolStats};
 use ci_core::{PipelineConfig, Stats};
 use ci_ideal::{IdealResult, ModelKind};
 use ci_obs::json::{parse, JsonValue};
@@ -16,7 +17,7 @@ use std::collections::HashSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// File name of the persisted cell cache inside `--cache-dir`.
@@ -31,6 +32,10 @@ pub struct EngineOptions {
     /// Directory for the persistent cell cache (`cells.jsonl`), enabling
     /// resumable runs. `None` keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Deterministic fault-injection plan. `None` — the production default —
+    /// costs one pointer test per injection point (see the `fault_overhead`
+    /// bench).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl EngineOptions {
@@ -53,6 +58,7 @@ impl EngineOptions {
         EngineOptions {
             workers,
             cache_dir: None,
+            faults: None,
         }
     }
 }
@@ -101,6 +107,9 @@ pub struct Engine {
     hits: AtomicU64,
     corrupt: AtomicU64,
     loaded: AtomicU64,
+    faults: Option<Arc<FaultPlan>>,
+    /// Cache files quarantined because they contained corrupt lines.
+    quarantined: Mutex<Vec<PathBuf>>,
 }
 
 impl Engine {
@@ -123,6 +132,8 @@ impl Engine {
             hits: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             loaded: AtomicU64::new(0),
+            faults: opts.faults,
+            quarantined: Mutex::new(Vec::new()),
         };
         if let Some(dir) = e.cache_dir.clone() {
             e.load_cache(&dir.join(CACHE_FILE));
@@ -137,6 +148,7 @@ impl Engine {
         Engine::new(EngineOptions {
             workers: 1,
             cache_dir: None,
+            faults: None,
         })
     }
 
@@ -146,6 +158,7 @@ impl Engine {
         Engine::new(EngineOptions {
             workers,
             cache_dir: None,
+            faults: None,
         })
     }
 
@@ -179,6 +192,24 @@ impl Engine {
         self.loaded.load(Ordering::Relaxed)
     }
 
+    /// Cache files quarantined at load because they contained corrupt lines.
+    #[must_use]
+    pub fn quarantined_files(&self) -> Vec<PathBuf> {
+        self.quarantined.lock().unwrap().clone()
+    }
+
+    /// The active fault-injection plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Faults injected so far (0 without a plan).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected_total())
+    }
+
     /// Compute (or fetch) every distinct cell in `specs`, using the
     /// work-stealing pool at the configured width. Later lookups of these
     /// cells are pure cache hits, so callers can assemble tables serially
@@ -207,14 +238,47 @@ impl Engine {
         timing.pool.stats.absorb(&stats);
     }
 
+    /// [`Engine::prefetch`] with per-cell panic isolation: a cell whose
+    /// computation panics (a real bug or an injected fault) is counted in
+    /// [`PoolStats::panicked`] and skipped — the memo unpoisons the key, so
+    /// a later [`Engine::cell`] retry recomputes it — while every other
+    /// cell completes normally. Returns this batch's stats.
+    pub fn prefetch_isolated(&self, specs: &[CellSpec]) -> PoolStats {
+        let mut seen = HashSet::new();
+        let todo: Vec<CellSpec> = specs
+            .iter()
+            .filter(|s| seen.insert(s.canonical()) && self.cells.peek(&s.canonical()).is_none())
+            .cloned()
+            .collect();
+        let jobs: Vec<_> = todo
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let _ = self.cell(&spec);
+                }
+            })
+            .collect();
+        if jobs.is_empty() {
+            return PoolStats::default();
+        }
+        let stats = run_batch_catching(self.workers, jobs);
+        let mut timing = self.timing.lock().unwrap();
+        timing.pool.batches += 1;
+        timing.pool.stats.absorb(&stats);
+        stats
+    }
+
     /// The output of one cell, computed on the calling thread if missing.
     #[must_use]
     pub fn cell(&self, spec: &CellSpec) -> CellOutput {
         let canonical = spec.canonical();
         let started = Instant::now();
-        let (out, computed) = self
-            .cells
-            .get_or_compute(canonical.clone(), || spec.compute(&self.shared));
+        let (out, computed) = self.cells.get_or_compute(canonical.clone(), || {
+            if let Some(f) = &self.faults {
+                f.before_compute(&canonical);
+            }
+            spec.compute(&self.shared)
+        });
         let wall = started.elapsed();
         let disposition = if computed {
             self.computed.fetch_add(1, Ordering::Relaxed);
@@ -325,6 +389,11 @@ impl Engine {
         r.inc("cells_cache_hits", self.cache_hits());
         r.inc("cells_loaded_from_disk", self.cells_loaded());
         r.inc("cache_corrupt_lines", self.corrupt_lines());
+        r.inc(
+            "cache_quarantined_files",
+            self.quarantined.lock().unwrap().len() as u64,
+        );
+        r.inc("faults_injected", self.faults_injected());
         let bounds: Vec<u64> = (0..=24).map(|p| 1u64 << p).collect(); // 1us..16s
         let timing = self.timing.lock().unwrap();
         for t in timing.cells.iter().filter(|t| t.disposition == "computed") {
@@ -408,6 +477,8 @@ impl Engine {
             disk_hits,
             cells_loaded: self.cells_loaded(),
             corrupt_lines: self.corrupt_lines(),
+            quarantined_files: self.quarantined.lock().unwrap().len() as u64,
+            faults_injected: self.faults_injected(),
             compute_wall_us,
             cells,
             pool: timing.pool.clone(),
@@ -449,11 +520,17 @@ impl Engine {
         let Ok(text) = std::fs::read_to_string(path) else {
             return; // first run: nothing persisted yet
         };
-        for line in text.lines() {
+        let mut corrupt_here = 0u64;
+        let mut first_bad: Option<usize> = None;
+        for (index, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match parse_cache_line(line) {
+            let injected = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.corrupt_cache_read(index));
+            match (!injected).then(|| parse_cache_line(line)).flatten() {
                 Some((spec, output)) => {
                     self.disk.lock().unwrap().insert(spec.clone());
                     self.cells.seed(spec, output);
@@ -461,6 +538,23 @@ impl Engine {
                 }
                 None => {
                     self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    corrupt_here += 1;
+                    first_bad.get_or_insert(index + 1);
+                }
+            }
+        }
+        // A corrupt cache file is evidence, not garbage: move it to
+        // `<cache-dir>/quarantine/` with a reason header instead of
+        // silently rewriting over it. The valid lines are already loaded,
+        // and the next save rewrites a clean file.
+        if corrupt_here > 0 {
+            if let Some(dir) = &self.cache_dir {
+                let reason = format!(
+                    "{corrupt_here} corrupt line(s), first at line {}",
+                    first_bad.unwrap_or(0)
+                );
+                if let Ok(qpath) = quarantine_cache_file(dir, path, &text, &reason) {
+                    self.quarantined.lock().unwrap().push(qpath);
                 }
             }
         }
@@ -476,6 +570,9 @@ impl Engine {
         let Some(dir) = &self.cache_dir else {
             return Ok(());
         };
+        if let Some(err) = self.faults.as_ref().and_then(|f| f.fail_cache_write()) {
+            return Err(err);
+        }
         std::fs::create_dir_all(dir)?;
         let mut entries = self.cells.snapshot();
         entries.sort_by(|a, b| a.0.cmp(&b.0));

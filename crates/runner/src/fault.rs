@@ -1,0 +1,469 @@
+//! Deterministic, seeded fault injection for the engine and the serve
+//! daemon built on top of it.
+//!
+//! A [`FaultPlan`] decides, as a pure function of its seed and the
+//! *injection site + subject key*, whether a fault fires at a given point —
+//! never from wall-clock time or thread scheduling, so a soak run under an
+//! active plan is exactly reproducible. Each site selects a deterministic
+//! subset of keys (one in `rate`) and fails each selected key at most
+//! `budget` times before letting it succeed, which is what makes "every
+//! failure is recoverable" provable: a panicking cell panics the same
+//! number of times on every run, then computes normally.
+//!
+//! The plan is threaded through [`Engine`](crate::Engine) (cell compute
+//! panics and latency, cache read corruption, cache write errors) and used
+//! directly by the serve daemon's workers (worker kill) and the load
+//! generator (client stalls and disconnects). The default is
+//! `Option<Arc<FaultPlan>>::None`: a single pointer test on the cold side
+//! of a multi-millisecond simulation, verified within noise by the
+//! `fault_overhead` bench (the same pattern `obs_overhead` uses for the
+//! probe seam).
+
+use crate::cell::fnv1a;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Panic inside a cell computation (simulates a worker crash).
+    ComputePanic,
+    /// Artificial latency before a cell computation (simulates a slow cell).
+    ComputeLatency,
+    /// A cache line reads back corrupt (simulates disk corruption).
+    CacheRead,
+    /// Persisting the cache fails with an I/O error.
+    CacheWrite,
+    /// A serve worker thread dies.
+    WorkerKill,
+    /// A client stalls between protocol lines.
+    ClientStall,
+    /// A client drops its connection before draining responses.
+    ClientDisconnect,
+}
+
+impl FaultSite {
+    /// All sites, for counter reports.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::ComputePanic,
+        FaultSite::ComputeLatency,
+        FaultSite::CacheRead,
+        FaultSite::CacheWrite,
+        FaultSite::WorkerKill,
+        FaultSite::ClientStall,
+        FaultSite::ClientDisconnect,
+    ];
+
+    /// Stable short name (used in metrics and the CLI plan syntax).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::ComputePanic => "panic",
+            FaultSite::ComputeLatency => "latency",
+            FaultSite::CacheRead => "cache_read",
+            FaultSite::CacheWrite => "cache_write",
+            FaultSite::WorkerKill => "kill",
+            FaultSite::ClientStall => "stall",
+            FaultSite::ClientDisconnect => "disconnect",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::ComputePanic => 0,
+            FaultSite::ComputeLatency => 1,
+            FaultSite::CacheRead => 2,
+            FaultSite::CacheWrite => 3,
+            FaultSite::WorkerKill => 4,
+            FaultSite::ClientStall => 5,
+            FaultSite::ClientDisconnect => 6,
+        }
+    }
+}
+
+/// Per-site configuration: which keys are selected and how often they fail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SiteConfig {
+    /// One key in `rate` is selected; `0` disables the site.
+    rate: u64,
+    /// Times each selected key fires before succeeding forever.
+    budget: u32,
+    /// Injected delay for latency/stall sites.
+    delay: Duration,
+}
+
+/// Marker prefix of injected panic payloads, so supervision layers can
+/// distinguish planned faults from real bugs in reports.
+pub const INJECTED_PANIC: &str = "injected fault:";
+
+/// SplitMix64 finalizer: decorrelates (seed, site, key) into selection bits.
+#[must_use]
+pub fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, seeded fault-injection plan (see the module docs).
+///
+/// Cheap to share: engine and serve layers hold it as
+/// `Option<Arc<FaultPlan>>`, where `None` is the zero-cost production
+/// default.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: [SiteConfig; 7],
+    /// Attempts so far per (site, key-hash): how many times the fault has
+    /// fired for that subject. Interior mutability keeps the injection API
+    /// `&self`, matching the engine's sharing model.
+    attempts: Mutex<HashMap<(usize, u64), u32>>,
+    injected: [AtomicU64; 7],
+}
+
+impl FaultPlan {
+    /// An empty plan (no site enabled) with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn site(mut self, site: FaultSite, rate: u64, budget: u32, delay: Duration) -> FaultPlan {
+        self.sites[site.index()] = SiteConfig {
+            rate,
+            budget,
+            delay,
+        };
+        self
+    }
+
+    /// Panic one cell computation in `rate`, `budget` times each.
+    #[must_use]
+    pub fn with_panics(self, rate: u64, budget: u32) -> FaultPlan {
+        self.site(FaultSite::ComputePanic, rate, budget, Duration::ZERO)
+    }
+
+    /// Delay one cell computation in `rate` by `delay`, `budget` times each.
+    #[must_use]
+    pub fn with_latency(self, rate: u64, budget: u32, delay: Duration) -> FaultPlan {
+        self.site(FaultSite::ComputeLatency, rate, budget, delay)
+    }
+
+    /// Corrupt one cache line in `rate` on read, `budget` times each.
+    #[must_use]
+    pub fn with_cache_read_faults(self, rate: u64, budget: u32) -> FaultPlan {
+        self.site(FaultSite::CacheRead, rate, budget, Duration::ZERO)
+    }
+
+    /// Fail one cache save in `rate`, `budget` times each.
+    #[must_use]
+    pub fn with_cache_write_faults(self, rate: u64, budget: u32) -> FaultPlan {
+        self.site(FaultSite::CacheWrite, rate, budget, Duration::ZERO)
+    }
+
+    /// Kill one serve worker wake-up in `rate`, at most `budget` workers.
+    #[must_use]
+    pub fn with_worker_kills(self, rate: u64, budget: u32) -> FaultPlan {
+        self.site(FaultSite::WorkerKill, rate, budget, Duration::ZERO)
+    }
+
+    /// Stall one client protocol line in `rate` by `delay`.
+    #[must_use]
+    pub fn with_client_stalls(self, rate: u64, budget: u32, delay: Duration) -> FaultPlan {
+        self.site(FaultSite::ClientStall, rate, budget, delay)
+    }
+
+    /// Disconnect one client request in `rate` before it drains responses,
+    /// `budget` times each (so the retried request eventually completes).
+    #[must_use]
+    pub fn with_client_disconnects(self, rate: u64, budget: u32) -> FaultPlan {
+        self.site(FaultSite::ClientDisconnect, rate, budget, Duration::ZERO)
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether `key` is in `site`'s deterministic selection (independent of
+    /// how many times it has fired).
+    #[must_use]
+    pub fn selects(&self, site: FaultSite, key: &str) -> bool {
+        let cfg = &self.sites[site.index()];
+        if cfg.rate == 0 {
+            return false;
+        }
+        mix(self.seed
+            ^ (site.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ fnv1a(key.as_bytes()))
+        .is_multiple_of(cfg.rate)
+    }
+
+    /// Whether the fault fires now for `key` at `site`: true while the key
+    /// is selected and under its failure budget. Counts the injection.
+    #[must_use]
+    pub fn fire(&self, site: FaultSite, key: &str) -> bool {
+        if !self.selects(site, key) {
+            return false;
+        }
+        let cfg = &self.sites[site.index()];
+        let mut attempts = self.attempts.lock().unwrap();
+        let n = attempts
+            .entry((site.index(), fnv1a(key.as_bytes())))
+            .or_insert(0);
+        if *n >= cfg.budget {
+            return false;
+        }
+        *n += 1;
+        drop(attempts);
+        self.injected[site.index()].fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The configured delay of a latency/stall site.
+    #[must_use]
+    pub fn delay(&self, site: FaultSite) -> Duration {
+        self.sites[site.index()].delay
+    }
+
+    /// Engine hook: run before computing the cell named by `key`. May sleep
+    /// (injected latency) and may panic (injected worker crash); the panic
+    /// payload starts with [`INJECTED_PANIC`].
+    ///
+    /// # Panics
+    /// Panics exactly when the plan's `ComputePanic` site fires for `key` —
+    /// that is the injected fault.
+    pub fn before_compute(&self, key: &str) {
+        if self.fire(FaultSite::ComputeLatency, key) {
+            std::thread::sleep(self.delay(FaultSite::ComputeLatency));
+        }
+        if self.fire(FaultSite::ComputePanic, key) {
+            panic!("{INJECTED_PANIC} compute panic for cell `{key}`");
+        }
+    }
+
+    /// Engine hook: whether the cache line at `index` should be treated as
+    /// corrupt on this read.
+    #[must_use]
+    pub fn corrupt_cache_read(&self, index: usize) -> bool {
+        self.fire(FaultSite::CacheRead, &format!("line{index}"))
+    }
+
+    /// Engine hook: an injected error for this cache save, if the site
+    /// fires.
+    #[must_use]
+    pub fn fail_cache_write(&self) -> Option<std::io::Error> {
+        if self.fire(FaultSite::CacheWrite, "save") {
+            Some(std::io::Error::other(format!(
+                "{INJECTED_PANIC} cache write error"
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Total faults injected so far, across all sites.
+    #[must_use]
+    pub fn injected_total(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Faults injected per site, in [`FaultSite::ALL`] order.
+    #[must_use]
+    pub fn injected_by_site(&self) -> Vec<(&'static str, u64)> {
+        FaultSite::ALL
+            .iter()
+            .map(|s| (s.name(), self.injected[s.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Parse the CLI plan syntax:
+    /// `seed=<u64>,panic=<rate>:<budget>,latency=<rate>:<budget>:<ms>ms,`
+    /// `cache_read=<rate>:<budget>,cache_write=<rate>:<budget>,`
+    /// `kill=<rate>:<budget>,stall=<rate>:<budget>:<ms>ms,`
+    /// `disconnect=<rate>:<budget>` — any subset of sites, in any order.
+    /// Seeds accept decimal or `0x` hex.
+    ///
+    /// # Errors
+    /// A malformed clause is an error, never a silently ignored fault.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        fn u64v(v: &str) -> Result<u64, String> {
+            let t = v.trim();
+            match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(h) => u64::from_str_radix(h, 16),
+                None => t.parse(),
+            }
+            .map_err(|_| format!("`{v}` is not an integer"))
+        }
+        let mut plan = FaultPlan::new(0);
+        for clause in text.split(',').filter(|c| !c.trim().is_empty()) {
+            let (name, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is missing `=`"))?;
+            let name = name.trim();
+            if name == "seed" {
+                plan.seed = u64v(value)?;
+                continue;
+            }
+            let site = FaultSite::ALL
+                .into_iter()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| format!("unknown fault site `{name}`"))?;
+            let parts: Vec<&str> = value.split(':').collect();
+            let (rate, budget, delay) = match (site, parts.as_slice()) {
+                (FaultSite::ComputeLatency | FaultSite::ClientStall, [r, b, d]) => {
+                    let ms = d
+                        .trim()
+                        .strip_suffix("ms")
+                        .ok_or_else(|| format!("delay `{d}` must end in `ms`"))?;
+                    (
+                        u64v(r)?,
+                        u32::try_from(u64v(b)?).map_err(|_| "budget too large".to_owned())?,
+                        Duration::from_millis(u64v(ms)?),
+                    )
+                }
+                (FaultSite::ComputeLatency | FaultSite::ClientStall, _) => {
+                    return Err(format!(
+                        "site `{name}` takes <rate>:<budget>:<ms>ms, got `{value}`"
+                    ));
+                }
+                (_, [r, b]) => (
+                    u64v(r)?,
+                    u32::try_from(u64v(b)?).map_err(|_| "budget too large".to_owned())?,
+                    Duration::ZERO,
+                ),
+                _ => {
+                    return Err(format!(
+                        "site `{name}` takes <rate>:<budget>, got `{value}`"
+                    ));
+                }
+            };
+            plan.sites[site.index()] = SiteConfig {
+                rate,
+                budget,
+                delay,
+            };
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::new(1);
+        for k in ["a", "b", "c"] {
+            assert!(!p.fire(FaultSite::ComputePanic, k));
+            assert!(!p.selects(FaultSite::CacheRead, k));
+        }
+        assert_eq!(p.injected_total(), 0);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_budgeted() {
+        let p = FaultPlan::new(42).with_panics(2, 3);
+        let q = FaultPlan::new(42).with_panics(2, 3);
+        let keys: Vec<String> = (0..64).map(|i| format!("cell{i}")).collect();
+        let selected: Vec<&String> = keys
+            .iter()
+            .filter(|k| p.selects(FaultSite::ComputePanic, k))
+            .collect();
+        assert!(!selected.is_empty(), "rate 2 over 64 keys must select some");
+        for k in &keys {
+            assert_eq!(
+                p.selects(FaultSite::ComputePanic, k),
+                q.selects(FaultSite::ComputePanic, k),
+                "same seed, same selection"
+            );
+        }
+        // A selected key fires exactly `budget` times, then never again.
+        let k = selected[0];
+        for _ in 0..3 {
+            assert!(p.fire(FaultSite::ComputePanic, k));
+        }
+        for _ in 0..5 {
+            assert!(!p.fire(FaultSite::ComputePanic, k));
+        }
+        assert_eq!(p.injected_total(), 3);
+    }
+
+    #[test]
+    fn different_seeds_select_differently() {
+        let a = FaultPlan::new(1).with_panics(2, 1);
+        let b = FaultPlan::new(2).with_panics(2, 1);
+        let keys: Vec<String> = (0..256).map(|i| format!("k{i}")).collect();
+        let same = keys
+            .iter()
+            .filter(|k| {
+                a.selects(FaultSite::ComputePanic, k) == b.selects(FaultSite::ComputePanic, k)
+            })
+            .count();
+        assert!(same < 256, "seeds must change the selection");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let p = FaultPlan::new(7).with_panics(1, 1); // every key panics once
+        assert!(p.selects(FaultSite::ComputePanic, "x"));
+        assert!(!p.selects(FaultSite::CacheRead, "x"));
+        assert!(!p.selects(FaultSite::ClientDisconnect, "x"));
+    }
+
+    #[test]
+    fn before_compute_panics_with_marker() {
+        let p = FaultPlan::new(7).with_panics(1, 1);
+        let err =
+            std::panic::catch_unwind(|| p.before_compute("cell")).expect_err("must inject a panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC), "payload: {msg}");
+        // Budget spent: the retry succeeds.
+        p.before_compute("cell");
+    }
+
+    #[test]
+    fn cache_write_faults_are_io_errors() {
+        let p = FaultPlan::new(3).with_cache_write_faults(1, 2);
+        assert!(p.fail_cache_write().is_some());
+        assert!(p.fail_cache_write().is_some());
+        assert!(p.fail_cache_write().is_none(), "budget exhausted");
+    }
+
+    #[test]
+    fn parse_round_trips_the_soak_syntax() {
+        let p = FaultPlan::parse(
+            "seed=0xC1,panic=6:2,latency=9:3:4ms,cache_read=5:1,cache_write=3:1,\
+             kill=40:2,stall=7:1:5ms,disconnect=9:1",
+        )
+        .unwrap();
+        assert_eq!(p.seed(), 0xC1);
+        assert_eq!(p.delay(FaultSite::ComputeLatency), Duration::from_millis(4));
+        assert_eq!(p.delay(FaultSite::ClientStall), Duration::from_millis(5));
+        assert_eq!(p.sites[FaultSite::WorkerKill.index()].rate, 40);
+        assert_eq!(p.sites[FaultSite::ClientDisconnect.index()].budget, 1);
+        // Empty and partial plans parse too.
+        assert!(FaultPlan::parse("").is_ok());
+        assert!(FaultPlan::parse("seed=9").is_ok());
+        for bad in [
+            "panic",
+            "panic=1",
+            "panic=1:2:3",
+            "latency=1:2",
+            "latency=1:2:3",
+            "nonsense=1:2",
+            "seed=zz",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+}

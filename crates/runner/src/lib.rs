@@ -30,6 +30,7 @@
 
 pub mod cell;
 pub mod engine;
+pub mod fault;
 pub mod memo;
 pub mod metrics;
 pub mod persist;
@@ -37,6 +38,7 @@ pub mod pool;
 
 pub use cell::{fnv1a, CellKey, CellOutput, CellSpec, SharedInputs};
 pub use engine::{Engine, EngineOptions, CACHE_FILE};
+pub use fault::{FaultPlan, FaultSite, INJECTED_PANIC};
 pub use memo::Memo;
 pub use metrics::{CellReport, PoolReport, RunMetrics};
 pub use pool::PoolStats;

@@ -57,6 +57,11 @@ pub struct RunMetrics {
     pub cells_loaded: u64,
     /// Corrupt lines rejected while loading the disk cache.
     pub corrupt_lines: u64,
+    /// Cache files quarantined because they contained corrupt lines.
+    pub quarantined_files: u64,
+    /// Faults injected by the active [`FaultPlan`](crate::FaultPlan)
+    /// (0 without a plan).
+    pub faults_injected: u64,
     /// Summed wall time of computed cells, µs.
     pub compute_wall_us: u64,
     /// Per-request reports, slowest first.
@@ -106,6 +111,8 @@ impl RunMetrics {
             ("disk_hits", self.disk_hits.into()),
             ("cells_loaded", self.cells_loaded.into()),
             ("corrupt_lines", self.corrupt_lines.into()),
+            ("quarantined_files", self.quarantined_files.into()),
+            ("faults_injected", self.faults_injected.into()),
             ("hit_rate", self.hit_rate().into()),
             ("compute_wall_us", self.compute_wall_us.into()),
             (
@@ -124,6 +131,7 @@ impl RunMetrics {
                         u64::try_from(p.busy.as_micros()).unwrap_or(u64::MAX).into(),
                     ),
                     ("max_queue_depth", p.max_queue_depth.into()),
+                    ("panicked", p.panicked.into()),
                     ("utilization", p.utilization().into()),
                 ]),
             ),
@@ -166,6 +174,8 @@ mod tests {
             disk_hits: 1,
             cells_loaded: 1,
             corrupt_lines: 0,
+            quarantined_files: 0,
+            faults_injected: 0,
             compute_wall_us: 1500,
             cells: vec![CellReport {
                 key: "00ff".into(),
@@ -184,6 +194,7 @@ mod tests {
                     wall: Duration::from_millis(1),
                     busy: Duration::from_millis(2),
                     max_queue_depth: 1,
+                    panicked: 0,
                 },
             },
         }
@@ -218,6 +229,8 @@ mod tests {
             disk_hits: 0,
             cells_loaded: 0,
             corrupt_lines: 0,
+            quarantined_files: 0,
+            faults_injected: 0,
             compute_wall_us: 0,
             cells: Vec::new(),
             pool: PoolReport::default(),

@@ -10,11 +10,12 @@
 //! yields `None`, which the cache layer treats as a corrupt line — rejected,
 //! recomputed, and rewritten, never trusted.
 
-use crate::cell::CellOutput;
+use crate::cell::{fnv1a, CellOutput};
 use ci_bpred::TfrStats;
 use ci_core::Stats;
 use ci_obs::json::JsonValue;
 use ci_obs::{EventCounters, Histogram, MetricsProbe};
+use std::path::{Path, PathBuf};
 
 fn u(v: u64) -> JsonValue {
     JsonValue::Str(v.to_string())
@@ -210,6 +211,40 @@ pub fn output_to_json(o: &CellOutput) -> JsonValue {
             ("mispredictions", u(*mispredictions)),
         ]),
     }
+}
+
+/// Quarantine a corrupt cache file: write its full content under
+/// `<dir>/quarantine/`, prefixed with a `#`-comment reason header, then
+/// remove the original. The quarantine file name embeds the content hash,
+/// so re-quarantining identical content is idempotent and distinct
+/// corruptions never overwrite each other. Returns the quarantine path.
+///
+/// Corrupt caches used to be silently dropped and rewritten; keeping the
+/// evidence is what lets an operator distinguish a bad disk from a bad
+/// writer.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write, remove).
+pub fn quarantine_cache_file(
+    dir: &Path,
+    path: &Path,
+    content: &str,
+    reason: &str,
+) -> std::io::Result<PathBuf> {
+    let qdir = dir.join("quarantine");
+    std::fs::create_dir_all(&qdir)?;
+    let file_name = path
+        .file_name()
+        .map_or_else(|| "cache".to_owned(), |n| n.to_string_lossy().into_owned());
+    let qpath = qdir.join(format!("{file_name}.{:016x}", fnv1a(content.as_bytes())));
+    let mut body = String::new();
+    body.push_str("# quarantined cache file — do not trust, kept for diagnosis\n");
+    body.push_str(&format!("# reason: {reason}\n"));
+    body.push_str(&format!("# original: {}\n", path.display()));
+    body.push_str(content);
+    std::fs::write(&qpath, body)?;
+    std::fs::remove_file(path)?;
+    Ok(qpath)
 }
 
 /// Deserialize a cell output; `None` on any malformed input.

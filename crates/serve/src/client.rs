@@ -1,0 +1,77 @@
+//! A minimal blocking JSONL client for `ci-serve`.
+
+use crate::proto::Request;
+use crate::server::line_is_terminal;
+use ci_obs::{json, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a daemon. Requests are written as JSONL lines;
+/// responses are read line by line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        self.writer.write_all(req.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Read one raw response line (`None` at EOF).
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut buf = String::new();
+        let n = self.reader.read_line(&mut buf)?;
+        if n == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(buf.trim_end().to_owned()))
+        }
+    }
+
+    /// Read one parsed response line (`None` at EOF).
+    pub fn recv(&mut self) -> std::io::Result<Option<JsonValue>> {
+        match self.recv_line()? {
+            None => Ok(None),
+            Some(line) => json::parse(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Send a request and collect every response line for its id, up to
+    /// and including the terminal line.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Vec<JsonValue>> {
+        self.send(req)?;
+        let want = req.id().to_owned();
+        let mut lines = Vec::new();
+        loop {
+            let Some(v) = self.recv()? else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("connection closed before terminal line for `{want}`"),
+                ));
+            };
+            let mine = v.get("id").and_then(JsonValue::as_str) == Some(want.as_str());
+            let terminal = line_is_terminal(&v);
+            if mine {
+                lines.push(v);
+                if terminal {
+                    return Ok(lines);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fault-tolerant simulation service for the control-independence
+//! reproduction.
+//!
+//! `ci-serve` puts a long-running daemon in front of the experiment
+//! [`Engine`](ci_runner::Engine): clients connect over TCP, submit cell
+//! specs or whole table requests as JSONL, and receive streamed JSONL
+//! results backed by the shared memo and disk cache. The interesting part
+//! is the **supervision layer** wrapped around the engine:
+//!
+//! - panic isolation ([`std::panic::catch_unwind`]) poisons only the
+//!   failing cell, never the daemon;
+//! - bounded retry with exponential backoff and deterministic jitter
+//!   ([`supervise`]);
+//! - per-request deadlines enforced cooperatively between cells;
+//! - admission control with a bounded queue and per-client round-robin
+//!   fairness; under overload, bulk work is shed before interactive work
+//!   ([`server`]);
+//! - graceful degradation: if every serve worker dies, requests fall back
+//!   to serial in-process execution; corrupt cache files are quarantined
+//!   by the engine and service continues from memo.
+//!
+//! All of it is provable because faults are *injected deterministically*:
+//! `ci-runner`'s [`FaultPlan`](ci_runner::FaultPlan) seeds panics,
+//! latency, cache corruption, worker kills and misbehaving clients as a
+//! pure function of (seed, site, key), and the soak suite replays a
+//! many-client trace under an active plan asserting zero lost responses
+//! and byte-identical payloads against a direct engine run.
+//!
+//! Everything is std-only: TCP from [`std::net`], JSON from `ci-obs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod supervise;
+
+pub use client::Client;
+pub use loadgen::{LoadConfig, LoadReport};
+pub use metrics::ServeMetrics;
+pub use proto::{Class, Request};
+pub use server::{Server, ServerOptions};
+pub use supervise::{CellError, Supervisor};

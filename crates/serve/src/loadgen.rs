@@ -1,0 +1,331 @@
+//! Deterministic load generator for `ci-serve`.
+//!
+//! Replays a many-client request mix — seeded, so two runs generate the
+//! identical request stream — while optionally misbehaving on purpose:
+//! an active [`FaultPlan`] makes selected clients stall mid-conversation
+//! ([`FaultSite::ClientStall`]) or drop their connection right after
+//! sending ([`FaultSite::ClientDisconnect`]) and reconnect.
+//!
+//! The generator is also the verifier. It asserts, per request, that the
+//! response stream is well-formed (contiguous `seq`, exactly one terminal
+//! line), and across *all* requests and clients that every occurrence of a
+//! cell key carries a byte-identical payload. The soak suite additionally
+//! compares those payloads against a direct in-process [`Engine`] run.
+//!
+//! [`Engine`]: ci_runner::Engine
+
+use crate::client::Client;
+use crate::proto::{Class, Request};
+use ci_obs::JsonValue;
+use ci_runner::fault::mix;
+use ci_runner::{CellSpec, FaultPlan, FaultSite};
+use ci_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What load to generate and against which daemon.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Seed for the deterministic request mix.
+    pub seed: u64,
+    /// Instruction budget of generated cells/tables (keep small).
+    pub instructions: u64,
+    /// Client-side misbehaviour plan (stalls, disconnects); `None` for a
+    /// well-behaved fleet.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Send a `shutdown` request after the run.
+    pub send_shutdown: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            clients: 4,
+            requests_per_client: 8,
+            seed: 0x10AD,
+            instructions: 400,
+            faults: None,
+            send_shutdown: false,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run. A healthy run has `lost == 0`,
+/// `malformed == 0` and `nondeterministic == 0`; everything else is a
+/// legitimate terminal outcome the server chose.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Requests sent and tracked (abandoned ones excluded).
+    pub sent: u64,
+    /// Requests deliberately abandoned by injected client disconnects.
+    pub abandoned: u64,
+    /// Requests that ended `done`.
+    pub done: u64,
+    /// Requests that ended `shed`.
+    pub shed: u64,
+    /// Requests that ended `deadline`.
+    pub deadline: u64,
+    /// Requests that ended `rejected`.
+    pub rejected: u64,
+    /// Requests that ended `error`.
+    pub errors: u64,
+    /// Tracked requests with **no** terminal response — must be zero.
+    pub lost: u64,
+    /// Responses with gaps or out-of-order `seq` — must be zero.
+    pub malformed: u64,
+    /// Cell keys observed with differing payloads — must be zero.
+    pub nondeterministic: u64,
+    /// Total `ok` cell lines received.
+    pub cells: u64,
+    /// Injected client stalls performed.
+    pub stalls: u64,
+    /// Every cell payload seen, keyed by cell key (rendered JSON object,
+    /// identical across all observations by construction).
+    pub payloads: HashMap<String, String>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Whether the run proves the service healthy.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.lost == 0 && self.malformed == 0 && self.nondeterministic == 0
+    }
+
+    /// Render as one JSON object (schema `load_report/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::from("load_report/v1")),
+            ("sent", self.sent.into()),
+            ("abandoned", self.abandoned.into()),
+            ("done", self.done.into()),
+            ("shed", self.shed.into()),
+            ("deadline", self.deadline.into()),
+            ("rejected", self.rejected.into()),
+            ("errors", self.errors.into()),
+            ("lost", self.lost.into()),
+            ("malformed", self.malformed.into()),
+            ("nondeterministic", self.nondeterministic.into()),
+            ("cells", self.cells.into()),
+            ("stalls", self.stalls.into()),
+            ("distinct_cells", self.payloads.len().into()),
+            ("healthy", self.healthy().into()),
+            (
+                "wall_us",
+                u64::try_from(self.wall.as_micros())
+                    .unwrap_or(u64::MAX)
+                    .into(),
+            ),
+        ])
+    }
+
+    fn absorb(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.abandoned += other.abandoned;
+        self.done += other.done;
+        self.shed += other.shed;
+        self.deadline += other.deadline;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+        self.lost += other.lost;
+        self.malformed += other.malformed;
+        self.nondeterministic += other.nondeterministic;
+        self.cells += other.cells;
+        self.stalls += other.stalls;
+        for (key, payload) in other.payloads {
+            match self.payloads.get(&key) {
+                Some(seen) if *seen != payload => self.nondeterministic += 1,
+                Some(_) => {}
+                None => {
+                    self.payloads.insert(key, payload);
+                }
+            }
+        }
+    }
+}
+
+/// The deterministic request for client `c`, request `i`.
+#[must_use]
+pub fn nth_request(cfg: &LoadConfig, c: usize, i: usize) -> Request {
+    let h = mix(cfg.seed ^ ((c as u64) << 32 | i as u64));
+    let id = format!("c{c}-r{i}");
+    let workload = Workload::ALL[(h % 5) as usize];
+    match h % 10 {
+        0..=5 => Request::Cell {
+            id,
+            spec: CellSpec::Study {
+                workload,
+                instructions: cfg.instructions,
+                seed: cfg.seed % 1024,
+            },
+            class: Class::Interactive,
+            deadline_ms: None,
+        },
+        6..=7 => Request::Table {
+            id,
+            name: "smoke".to_owned(),
+            instructions: cfg.instructions,
+            seed: cfg.seed % 1024,
+            class: Class::Interactive,
+            deadline_ms: None,
+        },
+        _ => Request::Table {
+            id,
+            name: "table1".to_owned(),
+            instructions: cfg.instructions,
+            seed: cfg.seed % 1024,
+            class: Class::Bulk,
+            deadline_ms: None,
+        },
+    }
+}
+
+/// Every *distinct* cell the generated mix can request, for replaying the
+/// same work directly against an in-process engine.
+#[must_use]
+pub fn expected_cells(cfg: &LoadConfig) -> Vec<CellSpec> {
+    let scale = control_independence::experiments::Scale {
+        instructions: cfg.instructions,
+        seed: cfg.seed % 1024,
+    };
+    let mut cells: Vec<CellSpec> = Workload::ALL
+        .into_iter()
+        .map(|workload| CellSpec::Study {
+            workload,
+            instructions: cfg.instructions,
+            seed: cfg.seed % 1024,
+        })
+        .collect();
+    for name in ["smoke", "table1"] {
+        cells.extend(
+            control_independence::experiments::request_cells(name, &scale)
+                .expect("known experiment names"),
+        );
+    }
+    cells
+}
+
+fn record_response(report: &mut LoadReport, lines: &[JsonValue]) {
+    let mut expect_seq = 0_i64;
+    for v in lines {
+        match v.get("status").and_then(JsonValue::as_str) {
+            Some("ok") => {
+                report.cells += 1;
+                if v.get("seq").and_then(JsonValue::as_i64) != Some(expect_seq) {
+                    report.malformed += 1;
+                }
+                expect_seq += 1;
+                let cell = v.get("cell");
+                let key = cell
+                    .and_then(|c| c.get("key"))
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_owned);
+                match (key, cell) {
+                    (Some(key), Some(cell)) => {
+                        let payload = cell.render();
+                        match report.payloads.get(&key) {
+                            Some(seen) if *seen != payload => report.nondeterministic += 1,
+                            Some(_) => {}
+                            None => {
+                                report.payloads.insert(key, payload);
+                            }
+                        }
+                    }
+                    _ => report.malformed += 1,
+                }
+            }
+            Some("done") => report.done += 1,
+            Some("shed") => report.shed += 1,
+            Some("deadline") => report.deadline += 1,
+            Some("rejected") => report.rejected += 1,
+            Some("error") => report.errors += 1,
+            _ => report.malformed += 1,
+        }
+    }
+}
+
+fn client_loop(cfg: &LoadConfig, c: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let mut conn: Option<Client> = None;
+    for i in 0..cfg.requests_per_client {
+        let req = nth_request(cfg, c, i);
+        let key = format!("c{c}-r{i}");
+        if let Some(f) = &cfg.faults {
+            if f.fire(FaultSite::ClientStall, &key) {
+                report.stalls += 1;
+                std::thread::sleep(f.delay(FaultSite::ClientStall));
+            }
+        }
+        let disconnect = cfg
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.fire(FaultSite::ClientDisconnect, &key));
+        // (Re)connect lazily — also covers recovery after a disconnect.
+        if conn.is_none() {
+            match Client::connect(&cfg.addr) {
+                Ok(cl) => conn = Some(cl),
+                Err(_) => {
+                    report.sent += 1;
+                    report.lost += 1;
+                    continue;
+                }
+            }
+        }
+        let client = conn.as_mut().expect("connected above");
+        if disconnect {
+            // Send, then hang up without reading: the request is
+            // deliberately abandoned, not lost.
+            let _ = client.send(&req);
+            conn = None;
+            report.abandoned += 1;
+            continue;
+        }
+        report.sent += 1;
+        match client.request(&req) {
+            Ok(lines) => record_response(&mut report, &lines),
+            Err(_) => {
+                // Connection died mid-request; the response is gone.
+                report.lost += 1;
+                conn = None;
+            }
+        }
+    }
+    report
+}
+
+/// Run the configured load and return the merged report.
+#[must_use]
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    let start = Instant::now();
+    let mut merged = LoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| scope.spawn(move || client_loop(cfg, c)))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(report) => merged.absorb(report),
+                Err(_) => merged.lost += 1,
+            }
+        }
+    });
+    if cfg.send_shutdown {
+        if let Ok(mut cl) = Client::connect(&cfg.addr) {
+            let _ = cl.request(&Request::Shutdown {
+                id: "shutdown".into(),
+            });
+        }
+    }
+    merged.wall = start.elapsed();
+    merged
+}

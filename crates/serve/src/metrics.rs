@@ -1,0 +1,112 @@
+//! Serve-side counters: what the daemon did, independent of what the
+//! engine computed.
+//!
+//! [`ServeMetrics`] is a bag of atomics shared by the acceptor, reader
+//! threads, workers and the degraded-mode executor. A `status` request
+//! snapshots it (schema `serve_metrics/v1`) next to the engine's own
+//! [`RunMetrics`](ci_runner::RunMetrics), so one response answers both
+//! "what did the service do" and "what did the simulations cost".
+
+use ci_obs::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters for one daemon lifetime. All operations are relaxed —
+/// these are observability counters, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections that ended (EOF, error, or disconnect).
+    pub disconnects: AtomicU64,
+    /// Requests admitted to the queue (or run degraded).
+    pub accepted: AtomicU64,
+    /// Requests refused at admission (queue/client quota full, closed).
+    pub rejected: AtomicU64,
+    /// Bulk requests shed under overload.
+    pub shed: AtomicU64,
+    /// Requests that hit their deadline.
+    pub deadlines: AtomicU64,
+    /// Requests that completed successfully.
+    pub done: AtomicU64,
+    /// Requests that failed permanently (retries exhausted, bad name).
+    pub failed: AtomicU64,
+    /// Cell result lines streamed to clients.
+    pub cells_served: AtomicU64,
+    /// Compute attempts retried after a caught panic.
+    pub retries: AtomicU64,
+    /// Panics caught by the supervision layer.
+    pub panics_caught: AtomicU64,
+    /// Serve workers lost to injected kills.
+    pub workers_lost: AtomicU64,
+    /// Requests executed serially in degraded mode (no workers left).
+    pub degraded: AtomicU64,
+    /// Response lines that failed to reach their client (client gone).
+    pub send_failures: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Increment a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[must_use]
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as one JSON object (schema `serve_metrics/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::from("serve_metrics/v1")),
+            ("connections", Self::read(&self.connections).into()),
+            ("disconnects", Self::read(&self.disconnects).into()),
+            ("accepted", Self::read(&self.accepted).into()),
+            ("rejected", Self::read(&self.rejected).into()),
+            ("shed", Self::read(&self.shed).into()),
+            ("deadlines", Self::read(&self.deadlines).into()),
+            ("done", Self::read(&self.done).into()),
+            ("failed", Self::read(&self.failed).into()),
+            ("cells_served", Self::read(&self.cells_served).into()),
+            ("retries", Self::read(&self.retries).into()),
+            ("panics_caught", Self::read(&self.panics_caught).into()),
+            ("workers_lost", Self::read(&self.workers_lost).into()),
+            ("degraded", Self::read(&self.degraded).into()),
+            ("send_failures", Self::read(&self.send_failures).into()),
+        ])
+    }
+
+    /// Every admitted request must end in exactly one terminal outcome;
+    /// the difference between admissions and outcomes is the in-flight
+    /// count (0 once the daemon has drained).
+    #[must_use]
+    pub fn in_flight(&self) -> i64 {
+        let outcomes = Self::read(&self.done)
+            + Self::read(&self.failed)
+            + Self::read(&self.deadlines)
+            + Self::read(&self.shed);
+        Self::read(&self.accepted) as i64 - outcomes as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_shape_and_accounting() {
+        let m = ServeMetrics::default();
+        ServeMetrics::bump(&m.accepted);
+        ServeMetrics::bump(&m.accepted);
+        ServeMetrics::bump(&m.done);
+        assert_eq!(m.in_flight(), 1);
+        ServeMetrics::bump(&m.shed);
+        assert_eq!(m.in_flight(), 0);
+        let v = ci_obs::json::parse(&m.to_json().render()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("serve_metrics/v1"));
+        assert_eq!(v.get("accepted").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("done").unwrap().as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,523 @@
+//! The JSONL wire protocol between `ci-serve` and its clients.
+//!
+//! Every message — in both directions — is one JSON object per line,
+//! rendered and parsed by the `ci-obs` JSON layer. Requests carry a
+//! client-chosen `id` that every response line echoes, so a client can
+//! multiplex requests over one connection.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"kind":"cell","id":"c1","cell":{"type":"study","workload":"gcc","instructions":4000,"seed":7}}
+//! {"kind":"table","id":"t1","name":"table2","instructions":4000,"seed":7,"class":"bulk"}
+//! {"kind":"status","id":"s1"}
+//! {"kind":"shutdown","id":"x1"}
+//! ```
+//!
+//! Optional request fields: `deadline_ms` (per-request deadline, server
+//! default otherwise) and `class` (`"interactive"` or `"bulk"`; cells
+//! default to interactive, tables to bulk). Under overload the server sheds
+//! bulk work first — see [`crate::server`].
+//!
+//! # Responses
+//!
+//! A cell/table request streams one `"ok"` line per cell, in spec order,
+//! followed by exactly one terminal line (`done`, `error`, `shed`,
+//! `deadline` or `rejected`). `"ok"` lines embed the cell in the disk-cache
+//! line format (`key`/`spec`/`check`/`output`), so payloads are
+//! **byte-identical** to a direct [`Engine`](ci_runner::Engine) run and to
+//! every other request for the same cell — the soak suite pins this.
+//! Terminal lines carry no timing, for the same reason.
+
+use ci_core::PipelineConfig;
+use ci_ideal::ModelKind;
+use ci_obs::{json, JsonValue};
+use ci_runner::engine::render_cache_line;
+use ci_runner::{CellOutput, CellSpec};
+use ci_workloads::Workload;
+
+/// Scheduling class of a request: under overload, bulk work is shed first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Latency-sensitive; shed only as a last resort.
+    Interactive,
+    /// Throughput work (whole tables, prefetch warming); first to go.
+    Bulk,
+}
+
+impl Class {
+    /// Wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Interactive => "interactive",
+            Class::Bulk => "bulk",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Result<Class, String> {
+        match s {
+            "interactive" => Ok(Class::Interactive),
+            "bulk" => Ok(Class::Bulk),
+            other => Err(format!("unknown class `{other}`")),
+        }
+    }
+}
+
+/// One parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Compute one cell.
+    Cell {
+        /// Client-chosen correlation id, echoed on every response line.
+        id: String,
+        /// The cell to compute.
+        spec: CellSpec,
+        /// Scheduling class (default interactive).
+        class: Class,
+        /// Per-request deadline in milliseconds (server default if absent).
+        deadline_ms: Option<u64>,
+    },
+    /// Compute every cell behind a named table or figure
+    /// (see [`control_independence::experiments::request_cells`]).
+    Table {
+        /// Client-chosen correlation id.
+        id: String,
+        /// Experiment name (`table1` … `distributions`, `all`, `smoke`).
+        name: String,
+        /// Dynamic instruction budget per workload run.
+        instructions: u64,
+        /// Workload data seed.
+        seed: u64,
+        /// Scheduling class (default bulk).
+        class: Class,
+        /// Per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Report server metrics; answered immediately, never queued.
+    Status {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+    /// Drain queued work and stop the daemon.
+    Shutdown {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+}
+
+impl Request {
+    /// The request's correlation id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Cell { id, .. }
+            | Request::Table { id, .. }
+            | Request::Status { id }
+            | Request::Shutdown { id } => id,
+        }
+    }
+
+    /// Render the request as one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Cell {
+                id,
+                spec,
+                class,
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("kind", JsonValue::from("cell")),
+                    ("id", JsonValue::Str(id.clone())),
+                    ("cell", spec_to_json(spec)),
+                    ("class", class.name().into()),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", (*ms).into()));
+                }
+                JsonValue::obj(pairs).render()
+            }
+            Request::Table {
+                id,
+                name,
+                instructions,
+                seed,
+                class,
+                deadline_ms,
+            } => {
+                let mut pairs = vec![
+                    ("kind", JsonValue::from("table")),
+                    ("id", JsonValue::Str(id.clone())),
+                    ("name", JsonValue::Str(name.clone())),
+                    ("instructions", (*instructions).into()),
+                    ("seed", (*seed).into()),
+                    ("class", class.name().into()),
+                ];
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", (*ms).into()));
+                }
+                JsonValue::obj(pairs).render()
+            }
+            Request::Status { id } => JsonValue::obj([
+                ("kind", JsonValue::from("status")),
+                ("id", JsonValue::Str(id.clone())),
+            ])
+            .render(),
+            Request::Shutdown { id } => JsonValue::obj([
+                ("kind", JsonValue::from("shutdown")),
+                ("id", JsonValue::Str(id.clone())),
+            ])
+            .render(),
+        }
+    }
+
+    /// Parse one wire line into a request.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `id`")?
+            .to_owned();
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `kind`")?;
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(
+                d.as_i64()
+                    .and_then(|ms| u64::try_from(ms).ok())
+                    .ok_or("`deadline_ms` must be a non-negative integer")?,
+            ),
+        };
+        let class = |default: Class| -> Result<Class, String> {
+            match v.get("class").and_then(JsonValue::as_str) {
+                None => Ok(default),
+                Some(s) => Class::parse(s),
+            }
+        };
+        match kind {
+            "cell" => Ok(Request::Cell {
+                id,
+                spec: spec_from_json(v.get("cell").ok_or("missing `cell`")?)?,
+                class: class(Class::Interactive)?,
+                deadline_ms,
+            }),
+            "table" => Ok(Request::Table {
+                id,
+                name: v
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing `name`")?
+                    .to_owned(),
+                instructions: field_u64(&v, "instructions")?,
+                seed: field_u64(&v, "seed")?,
+                class: class(Class::Bulk)?,
+                deadline_ms,
+            }),
+            "status" => Ok(Request::Status { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown kind `{other}`")),
+        }
+    }
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_i64)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+/// Encode a [`CellSpec`] as its wire object.
+///
+/// Detailed cells are expressible only through the named configuration
+/// presets (`base`, `ci`, `ci_instant`) — the full [`PipelineConfig`]
+/// surface stays server-side, which keeps the wire vocabulary closed under
+/// the experiments the paper defines.
+#[must_use]
+pub fn spec_to_json(spec: &CellSpec) -> JsonValue {
+    match spec {
+        CellSpec::Study {
+            workload,
+            instructions,
+            seed,
+        } => JsonValue::obj([
+            ("type", JsonValue::from("study")),
+            ("workload", workload.name().into()),
+            ("instructions", (*instructions).into()),
+            ("seed", (*seed).into()),
+        ]),
+        CellSpec::Ideal {
+            workload,
+            model,
+            window,
+            instructions,
+            seed,
+        } => JsonValue::obj([
+            ("type", JsonValue::from("ideal")),
+            ("workload", workload.name().into()),
+            ("model", model.name().into()),
+            ("window", (*window).into()),
+            ("instructions", (*instructions).into()),
+            ("seed", (*seed).into()),
+        ]),
+        CellSpec::Detailed {
+            workload,
+            config,
+            instructions,
+            seed,
+        } => {
+            let window = config.window;
+            let preset = if *config == PipelineConfig::base(window) {
+                "base"
+            } else if *config == PipelineConfig::ci(window) {
+                "ci"
+            } else if *config == PipelineConfig::ci_instant(window) {
+                "ci_instant"
+            } else {
+                "custom"
+            };
+            JsonValue::obj([
+                ("type", JsonValue::from("detailed")),
+                ("workload", workload.name().into()),
+                ("config", preset.into()),
+                ("window", window.into()),
+                ("instructions", (*instructions).into()),
+                ("seed", (*seed).into()),
+            ])
+        }
+    }
+}
+
+/// Decode a wire object into a [`CellSpec`]; inverse of [`spec_to_json`]
+/// for every preset-expressible spec.
+pub fn spec_from_json(v: &JsonValue) -> Result<CellSpec, String> {
+    let workload_name = v
+        .get("workload")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing `workload`")?;
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
+    let instructions = field_u64(v, "instructions")?;
+    let seed = field_u64(v, "seed")?;
+    match v.get("type").and_then(JsonValue::as_str) {
+        Some("study") => Ok(CellSpec::Study {
+            workload,
+            instructions,
+            seed,
+        }),
+        Some("ideal") => {
+            let model_name = v
+                .get("model")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing `model`")?;
+            let model = ModelKind::ALL
+                .into_iter()
+                .find(|m| m.name() == model_name)
+                .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+            let window = usize::try_from(field_u64(v, "window")?)
+                .map_err(|_| "window out of range".to_owned())?;
+            Ok(CellSpec::Ideal {
+                workload,
+                model,
+                window,
+                instructions,
+                seed,
+            })
+        }
+        Some("detailed") => {
+            let window = usize::try_from(field_u64(v, "window")?)
+                .map_err(|_| "window out of range".to_owned())?;
+            let config = match v.get("config").and_then(JsonValue::as_str) {
+                Some("base") => PipelineConfig::base(window),
+                Some("ci") => PipelineConfig::ci(window),
+                Some("ci_instant") => PipelineConfig::ci_instant(window),
+                Some(other) => return Err(format!("unknown config preset `{other}`")),
+                None => return Err("missing `config`".to_owned()),
+            };
+            Ok(CellSpec::Detailed {
+                workload,
+                config,
+                instructions,
+                seed,
+            })
+        }
+        Some(other) => Err(format!("unknown cell type `{other}`")),
+        None => Err("missing cell `type`".to_owned()),
+    }
+}
+
+/// Build one `"ok"` response line for a computed cell (no trailing
+/// newline). The `cell` field is the parsed disk-cache line for the cell —
+/// the same lossless `key`/`spec`/`check`/`output` object
+/// [`render_cache_line`] persists — so payloads are byte-comparable with a
+/// direct engine run.
+#[must_use]
+pub fn ok_line(id: &str, seq: usize, of: usize, spec: &CellSpec, output: &CellOutput) -> String {
+    let cache = render_cache_line(&spec.canonical(), output);
+    let cell = json::parse(&cache).expect("render_cache_line emits valid JSON");
+    JsonValue::obj([
+        ("id", JsonValue::Str(id.to_owned())),
+        ("seq", seq.into()),
+        ("of", of.into()),
+        ("status", "ok".into()),
+        ("cell", cell),
+    ])
+    .render()
+}
+
+/// Build a terminal response line (no trailing newline). `status` is one of
+/// `done`, `error`, `shed`, `deadline`, `rejected` or `bye`; `detail`
+/// becomes an `error` field when present.
+#[must_use]
+pub fn terminal_line(id: &str, status: &str, cells: usize, detail: Option<&str>) -> String {
+    let mut pairs = vec![
+        ("id", JsonValue::Str(id.to_owned())),
+        ("status", status.into()),
+        ("cells", cells.into()),
+    ];
+    if let Some(d) = detail {
+        pairs.push(("error", JsonValue::Str(d.to_owned())));
+    }
+    JsonValue::obj(pairs).render()
+}
+
+/// Whether a response line is terminal — the last line of its request.
+#[must_use]
+pub fn is_terminal(status: &str) -> bool {
+    matches!(
+        status,
+        "done" | "error" | "shed" | "deadline" | "rejected" | "bye" | "status"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<CellSpec> {
+        vec![
+            CellSpec::Study {
+                workload: Workload::GccLike,
+                instructions: 4_000,
+                seed: 7,
+            },
+            CellSpec::Ideal {
+                workload: Workload::VortexLike,
+                model: ModelKind::WrFd,
+                window: 256,
+                instructions: 9_000,
+                seed: 0x5EED,
+            },
+            CellSpec::Detailed {
+                workload: Workload::CompressLike,
+                config: PipelineConfig::ci(128),
+                instructions: 2_500,
+                seed: 1,
+            },
+            CellSpec::Detailed {
+                workload: Workload::JpegLike,
+                config: PipelineConfig::ci_instant(64),
+                instructions: 2_500,
+                seed: 2,
+            },
+            CellSpec::Detailed {
+                workload: Workload::GoLike,
+                config: PipelineConfig::base(512),
+                instructions: 2_500,
+                seed: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        for spec in specs() {
+            let back = spec_from_json(&spec_to_json(&spec)).unwrap();
+            assert_eq!(back, spec, "round trip changed {}", spec.canonical());
+        }
+    }
+
+    #[test]
+    fn request_lines_round_trip() {
+        let reqs = vec![
+            Request::Cell {
+                id: "c1".into(),
+                spec: specs().remove(0),
+                class: Class::Interactive,
+                deadline_ms: Some(1_500),
+            },
+            Request::Table {
+                id: "t1".into(),
+                name: "table2".into(),
+                instructions: 4_000,
+                seed: 7,
+                class: Class::Bulk,
+                deadline_ms: None,
+            },
+            Request::Status { id: "s1".into() },
+            Request::Shutdown { id: "x1".into() },
+        ];
+        for req in reqs {
+            let back = Request::parse_line(&req.to_line()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_rejections() {
+        let r = Request::parse_line(
+            r#"{"kind":"cell","id":"a","cell":{"type":"study","workload":"go","instructions":10,"seed":1}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            r,
+            Request::Cell {
+                class: Class::Interactive,
+                deadline_ms: None,
+                ..
+            }
+        ));
+        let r = Request::parse_line(
+            r#"{"kind":"table","id":"b","name":"smoke","instructions":10,"seed":1}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            r,
+            Request::Table {
+                class: Class::Bulk,
+                ..
+            }
+        ));
+        for bad in [
+            "not json",
+            r#"{"kind":"cell"}"#,
+            r#"{"kind":"mystery","id":"x"}"#,
+            r#"{"kind":"cell","id":"x","cell":{"type":"study","workload":"nope","instructions":1,"seed":1}}"#,
+            r#"{"kind":"cell","id":"x","cell":{"type":"ideal","workload":"go","model":"sideways","window":64,"instructions":1,"seed":1}}"#,
+            r#"{"kind":"cell","id":"x","cell":{"type":"detailed","workload":"go","config":"overclocked","window":64,"instructions":1,"seed":1}}"#,
+            r#"{"kind":"table","id":"x","name":"t","instructions":-4,"seed":1}"#,
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        for s in ["done", "error", "shed", "deadline", "rejected", "bye"] {
+            assert!(is_terminal(s));
+        }
+        assert!(!is_terminal("ok"));
+        let line = terminal_line("q", "shed", 0, Some("bulk overload"));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("shed"));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("bulk overload"));
+    }
+}

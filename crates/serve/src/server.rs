@@ -1,0 +1,670 @@
+//! The `ci-serve` daemon: a supervised TCP front-end over the experiment
+//! [`Engine`].
+//!
+//! # Architecture
+//!
+//! One acceptor thread, one reader thread per connection, and a fixed pool
+//! of serve workers draining a central scheduler. Requests are whole units
+//! of work (one cell, or every cell of a named table); a worker computes a
+//! request's cells *in spec order* and streams each result line as it
+//! completes, so per-request output is deterministic byte-for-byte.
+//!
+//! # Admission control and fairness
+//!
+//! The scheduler holds one bounded queue per client and serves clients
+//! round-robin, so a client flooding bulk table requests cannot starve
+//! another's interactive cells. Global capacity is bounded too; under
+//! overload the daemon **sheds bulk work first** (oldest bulk job is
+//! evicted, its client told `shed`), and only rejects interactive work
+//! when the queue is saturated with interactive requests.
+//!
+//! # Degradation ladder
+//!
+//! 1. Healthy: workers drain the scheduler, panics are retried with
+//!    backoff ([`Supervisor`]), deadlines are enforced cooperatively.
+//! 2. Overload: bulk shed first, then per-client quotas reject.
+//! 3. Worker loss: an injected kill makes a worker requeue its job at the
+//!    front of the owning client's queue (nothing is lost) and exit; the
+//!    last worker to die hands the queue to a rescue drainer, and reader
+//!    threads execute subsequent requests serially in-process (`degraded`
+//!    counter). The daemon *slows down* instead of dropping work.
+//! 4. Cache corruption: quarantined by the engine at load time; the daemon
+//!    keeps serving from memo and recomputes (see `ci-runner`).
+
+use crate::metrics::ServeMetrics;
+use crate::proto::{is_terminal, ok_line, terminal_line, Class, Request};
+use crate::supervise::{CellError, Supervisor};
+use ci_obs::{json, JsonValue};
+use ci_runner::{CellSpec, Engine, EngineOptions, FaultSite};
+use control_independence::experiments::{request_cells, Scale};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything configurable about a daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Listen address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Engine options (simulation workers, cache directory, fault plan).
+    pub engine: EngineOptions,
+    /// Serve worker threads draining the request scheduler.
+    pub serve_workers: usize,
+    /// Global bound on queued requests.
+    pub queue_cap: usize,
+    /// Per-client bound on queued requests.
+    pub per_client_cap: usize,
+    /// Retry/backoff policy for supervised computation.
+    pub supervisor: Supervisor,
+    /// Deadline applied when a request carries none.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            engine: EngineOptions {
+                workers: 1,
+                cache_dir: None,
+                faults: None,
+            },
+            serve_workers: 2,
+            queue_cap: 64,
+            per_client_cap: 8,
+            supervisor: Supervisor::default(),
+            default_deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+/// The write half of a connection. Workers and reader threads share it;
+/// a failed write marks the connection dead and later sends are dropped
+/// (counted in `send_failures`) instead of wedging a worker.
+struct ConnWriter {
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(Some(stream)),
+        }
+    }
+
+    /// Send one response line; returns whether the client got it.
+    fn send_line(&self, metrics: &ServeMetrics, line: &str) -> bool {
+        let mut guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let ok = match guard.as_mut() {
+            Some(s) => s
+                .write_all(line.as_bytes())
+                .and_then(|()| s.write_all(b"\n"))
+                .is_ok(),
+            None => false,
+        };
+        if !ok {
+            *guard = None;
+            ServeMetrics::bump(&metrics.send_failures);
+        }
+        ok
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    client: u64,
+    id: String,
+    specs: Vec<CellSpec>,
+    class: Class,
+    deadline: Instant,
+    /// Monotonic admission number — the shed policy evicts the *oldest*
+    /// bulk job.
+    seq: u64,
+    conn: Arc<ConnWriter>,
+}
+
+/// Scheduler state under one mutex: per-client queues plus the round-robin
+/// order of clients with pending work.
+struct Sched {
+    open: bool,
+    queues: HashMap<u64, VecDeque<Job>>,
+    order: VecDeque<u64>,
+    total: usize,
+    alive_workers: usize,
+}
+
+impl Sched {
+    fn push_back(&mut self, job: Job) {
+        let client = job.client;
+        let q = self.queues.entry(client).or_default();
+        if q.is_empty() && !self.order.contains(&client) {
+            self.order.push_back(client);
+        }
+        q.push_back(job);
+        self.total += 1;
+    }
+
+    fn push_front(&mut self, job: Job) {
+        let client = job.client;
+        let q = self.queues.entry(client).or_default();
+        if q.is_empty() && !self.order.contains(&client) {
+            self.order.push_front(client);
+        }
+        q.push_front(job);
+        self.total += 1;
+    }
+
+    /// Pop the next job round-robin across clients.
+    fn pop(&mut self) -> Option<Job> {
+        let client = self.order.pop_front()?;
+        let q = self.queues.get_mut(&client)?;
+        let job = q.pop_front()?;
+        if q.is_empty() {
+            self.queues.remove(&client);
+        } else {
+            self.order.push_back(client);
+        }
+        self.total -= 1;
+        Some(job)
+    }
+
+    /// Remove the oldest queued bulk job, if any (the shed victim).
+    fn evict_oldest_bulk(&mut self) -> Option<Job> {
+        let (&client, _) = self
+            .queues
+            .iter()
+            .filter_map(|(c, q)| {
+                q.iter()
+                    .filter(|j| j.class == Class::Bulk)
+                    .map(move |j| (c, j.seq))
+                    .min_by_key(|&(_, s)| s)
+            })
+            .min_by_key(|&(_, s)| s)?;
+        let q = self.queues.get_mut(&client)?;
+        let pos = q
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.class == Class::Bulk)
+            .min_by_key(|(_, j)| j.seq)
+            .map(|(i, _)| i)?;
+        let job = q.remove(pos)?;
+        if q.is_empty() {
+            self.queues.remove(&client);
+            self.order.retain(|&c| c != client);
+        }
+        self.total -= 1;
+        Some(job)
+    }
+}
+
+struct Inner {
+    engine: Engine,
+    metrics: ServeMetrics,
+    supervisor: Supervisor,
+    default_deadline: Duration,
+    queue_cap: usize,
+    per_client_cap: usize,
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    stop: AtomicBool,
+    next_seq: AtomicU64,
+    next_client: AtomicU64,
+}
+
+/// Outcome of admission control for one request.
+enum Admit {
+    Queued,
+    /// Refused outright; the reason goes on the `rejected` terminal line.
+    Rejected(&'static str),
+    /// The *incoming* request was shed (bulk under overload).
+    ShedIncoming(&'static str),
+}
+
+impl Inner {
+    /// Admit a job, possibly evicting an older bulk job to make room.
+    fn submit(&self, job: Job) -> Admit {
+        let victim = {
+            let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+            if !sched.open {
+                return Admit::Rejected("server shutting down");
+            }
+            let client_depth = sched.queues.get(&job.client).map_or(0, VecDeque::len);
+            if client_depth >= self.per_client_cap {
+                return Admit::Rejected("per-client queue full");
+            }
+            let mut victim = None;
+            if sched.total >= self.queue_cap {
+                match sched.evict_oldest_bulk() {
+                    Some(old) => victim = Some(old),
+                    None if job.class == Class::Bulk => {
+                        return Admit::ShedIncoming("overloaded: bulk work shed first");
+                    }
+                    None => return Admit::Rejected("queue full"),
+                }
+            }
+            sched.push_back(job);
+            self.work_ready.notify_all();
+            victim
+        };
+        if let Some(old) = victim {
+            ServeMetrics::bump(&self.metrics.shed);
+            old.conn.send_line(
+                &self.metrics,
+                &terminal_line(
+                    &old.id,
+                    "shed",
+                    0,
+                    Some("evicted by newer work under overload"),
+                ),
+            );
+        }
+        Admit::Queued
+    }
+
+    /// Worker loop: drain the scheduler until shutdown. An injected
+    /// [`FaultSite::WorkerKill`] makes the worker requeue its job (front of
+    /// the owning client's queue — nothing is lost) and exit; the last
+    /// worker hands off to a rescue drainer so queued work still completes.
+    fn worker_loop(self: &Arc<Inner>, worker: usize) {
+        loop {
+            let job = {
+                let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = sched.pop() {
+                        break job;
+                    }
+                    if !sched.open {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .work_ready
+                        .wait_timeout(sched, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner());
+                    sched = guard;
+                }
+            };
+            let killed = self
+                .engine
+                .fault_plan()
+                .is_some_and(|f| f.fire(FaultSite::WorkerKill, &format!("serve-worker-{worker}")));
+            if killed {
+                ServeMetrics::bump(&self.metrics.workers_lost);
+                let alive = {
+                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    sched.push_front(job);
+                    sched.alive_workers -= 1;
+                    self.work_ready.notify_all();
+                    sched.alive_workers
+                };
+                if alive == 0 {
+                    // Last worker down: hand the queue to a rescue drainer
+                    // so already-admitted work still completes.
+                    let inner = Arc::clone(self);
+                    std::thread::spawn(move || inner.drain_degraded());
+                }
+                return;
+            }
+            self.process_job(&job);
+        }
+    }
+
+    /// Serial in-process execution used once every worker has died.
+    fn drain_degraded(&self) {
+        loop {
+            let job = {
+                let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                if sched.alive_workers > 0 {
+                    return;
+                }
+                match sched.pop() {
+                    Some(job) => job,
+                    None => return,
+                }
+            };
+            ServeMetrics::bump(&self.metrics.degraded);
+            self.process_job(&job);
+        }
+    }
+
+    /// Compute a job's cells in order, streaming results, and finish with
+    /// exactly one terminal line.
+    fn process_job(&self, job: &Job) {
+        let of = job.specs.len();
+        for (seq, spec) in job.specs.iter().enumerate() {
+            if Instant::now() >= job.deadline {
+                ServeMetrics::bump(&self.metrics.deadlines);
+                job.conn.send_line(
+                    &self.metrics,
+                    &terminal_line(&job.id, "deadline", seq, Some("deadline exceeded")),
+                );
+                return;
+            }
+            match self
+                .supervisor
+                .run_cell(&self.engine, spec, Some(job.deadline), &self.metrics)
+            {
+                Ok(out) => {
+                    ServeMetrics::bump(&self.metrics.cells_served);
+                    job.conn
+                        .send_line(&self.metrics, &ok_line(&job.id, seq, of, spec, &out));
+                }
+                Err(CellError::Deadline) => {
+                    ServeMetrics::bump(&self.metrics.deadlines);
+                    job.conn.send_line(
+                        &self.metrics,
+                        &terminal_line(&job.id, "deadline", seq, Some("deadline exceeded")),
+                    );
+                    return;
+                }
+                Err(CellError::Panicked { attempts, message }) => {
+                    ServeMetrics::bump(&self.metrics.failed);
+                    let detail = format!("cell failed after {attempts} attempts: {message}");
+                    job.conn.send_line(
+                        &self.metrics,
+                        &terminal_line(&job.id, "error", seq, Some(&detail)),
+                    );
+                    return;
+                }
+            }
+        }
+        ServeMetrics::bump(&self.metrics.done);
+        job.conn
+            .send_line(&self.metrics, &terminal_line(&job.id, "done", of, None));
+    }
+
+    /// Handle one parsed request from a reader thread.
+    fn handle_request(self: &Arc<Inner>, req: Request, client: u64, conn: &Arc<ConnWriter>) {
+        match req {
+            Request::Status { id } => {
+                let line = JsonValue::obj([
+                    ("id", JsonValue::Str(id)),
+                    ("status", "status".into()),
+                    ("serve", self.metrics.to_json()),
+                    ("engine", self.engine.run_metrics("ci-serve").to_json()),
+                ])
+                .render();
+                conn.send_line(&self.metrics, &line);
+            }
+            Request::Shutdown { id } => {
+                conn.send_line(&self.metrics, &terminal_line(&id, "bye", 0, None));
+                self.begin_shutdown();
+            }
+            Request::Cell {
+                id,
+                spec,
+                class,
+                deadline_ms,
+            } => {
+                self.admit(client, conn, id, vec![spec], class, deadline_ms);
+            }
+            Request::Table {
+                id,
+                name,
+                instructions,
+                seed,
+                class,
+                deadline_ms,
+            } => {
+                let scale = Scale { instructions, seed };
+                match request_cells(&name, &scale) {
+                    Some(specs) => self.admit(client, conn, id, specs, class, deadline_ms),
+                    None => {
+                        ServeMetrics::bump(&self.metrics.rejected);
+                        let detail = format!("unknown experiment `{name}`");
+                        conn.send_line(
+                            &self.metrics,
+                            &terminal_line(&id, "error", 0, Some(&detail)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn admit(
+        self: &Arc<Inner>,
+        client: u64,
+        conn: &Arc<ConnWriter>,
+        id: String,
+        specs: Vec<CellSpec>,
+        class: Class,
+        deadline_ms: Option<u64>,
+    ) {
+        let deadline =
+            Instant::now() + deadline_ms.map_or(self.default_deadline, Duration::from_millis);
+        let job = Job {
+            client,
+            id: id.clone(),
+            specs,
+            class,
+            deadline,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            conn: Arc::clone(conn),
+        };
+        match self.submit(job) {
+            Admit::Queued => {
+                ServeMetrics::bump(&self.metrics.accepted);
+                let degraded = {
+                    let sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    sched.alive_workers == 0
+                };
+                if degraded {
+                    self.drain_degraded();
+                }
+            }
+            Admit::Rejected(reason) => {
+                ServeMetrics::bump(&self.metrics.rejected);
+                conn.send_line(
+                    &self.metrics,
+                    &terminal_line(&id, "rejected", 0, Some(reason)),
+                );
+            }
+            Admit::ShedIncoming(reason) => {
+                ServeMetrics::bump(&self.metrics.accepted);
+                ServeMetrics::bump(&self.metrics.shed);
+                conn.send_line(&self.metrics, &terminal_line(&id, "shed", 0, Some(reason)));
+            }
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.open = false;
+        self.work_ready.notify_all();
+    }
+
+    /// Reader loop for one connection: parse request lines until EOF,
+    /// error, or daemon shutdown.
+    fn handle_conn(self: &Arc<Inner>, stream: TcpStream) {
+        ServeMetrics::bump(&self.metrics.connections);
+        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let writer = match stream.try_clone() {
+            Ok(w) => Arc::new(ConnWriter::new(w)),
+            Err(_) => {
+                ServeMetrics::bump(&self.metrics.disconnects);
+                return;
+            }
+        };
+        // A read timeout keeps the loop responsive to shutdown; partial
+        // lines accumulate in `buf` across timeouts.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut reader = BufReader::new(stream);
+        let mut buf = String::new();
+        'conn: loop {
+            buf.clear();
+            loop {
+                match reader.read_line(&mut buf) {
+                    Ok(0) => break 'conn,
+                    Ok(_) => break,
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        if self.stop.load(Ordering::SeqCst) {
+                            break 'conn;
+                        }
+                    }
+                    Err(_) => break 'conn,
+                }
+            }
+            let line = buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match Request::parse_line(line) {
+                Ok(req) => self.handle_request(req, client, &writer),
+                Err(err) => {
+                    ServeMetrics::bump(&self.metrics.rejected);
+                    // Salvage the id if the line was at least valid JSON.
+                    let id = json::parse(line)
+                        .ok()
+                        .and_then(|v| v.get("id").and_then(JsonValue::as_str).map(str::to_owned))
+                        .unwrap_or_default();
+                    writer.send_line(
+                        &self.metrics,
+                        &terminal_line(&id, "rejected", 0, Some(&err)),
+                    );
+                }
+            }
+        }
+        ServeMetrics::bump(&self.metrics.disconnects);
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; send a
+/// `shutdown` request (or call [`Server::shutdown`]) and then
+/// [`Server::wait`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and serve workers, and return immediately.
+    pub fn start(opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let serve_workers = opts.serve_workers.max(1);
+        let inner = Arc::new(Inner {
+            engine: Engine::new(opts.engine),
+            metrics: ServeMetrics::default(),
+            supervisor: opts.supervisor,
+            default_deadline: opts.default_deadline,
+            queue_cap: opts.queue_cap.max(1),
+            per_client_cap: opts.per_client_cap.max(1),
+            sched: Mutex::new(Sched {
+                open: true,
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                total: 0,
+                alive_workers: serve_workers,
+            }),
+            work_ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            next_client: AtomicU64::new(0),
+        });
+        let mut handles: Vec<JoinHandle<()>> = (0..serve_workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || inner.worker_loop(w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || loop {
+                    if inner.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let inner = Arc::clone(&inner);
+                            std::thread::Builder::new()
+                                .name("serve-conn".to_owned())
+                                .spawn(move || inner.handle_conn(stream))
+                                .expect("spawn connection reader");
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        handles.push(acceptor);
+        Ok(Server {
+            inner,
+            addr,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's serve-side counters.
+    #[must_use]
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
+    }
+
+    /// The underlying engine (cache counters, fault plan, run metrics).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Trigger shutdown programmatically (equivalent to a `shutdown`
+    /// request): stop accepting, drain queued work, stop workers.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Block until the daemon has shut down and every queued request has
+    /// drained, then persist the engine's disk cache (if configured).
+    /// Idempotent: later calls return immediately.
+    pub fn wait(&self) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        if handles.is_empty() {
+            return;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Workers are gone; anything still queued (e.g. admitted during
+        // the final instants of shutdown) drains here.
+        {
+            let mut sched = self.inner.sched.lock().unwrap_or_else(|e| e.into_inner());
+            sched.alive_workers = 0;
+        }
+        self.inner.drain_degraded();
+        let _ = self.inner.engine.save_cache();
+    }
+}
+
+/// `true` when a response line (parsed) is the last line of its request.
+#[must_use]
+pub fn line_is_terminal(v: &JsonValue) -> bool {
+    v.get("status")
+        .and_then(JsonValue::as_str)
+        .is_some_and(is_terminal)
+}

@@ -1,0 +1,210 @@
+//! The supervision layer: every cell computation the daemon runs goes
+//! through here.
+//!
+//! Policy (documented in `DESIGN.md`):
+//!
+//! - **Panic isolation** — the compute closure runs under
+//!   [`catch_unwind`]; a panic poisons only the failing cell, never the
+//!   worker or the daemon. (The engine's memo already unpoisons its
+//!   in-flight slot on panic, so other waiters retry rather than hang.)
+//! - **Bounded retry** — up to [`Supervisor::max_retries`] re-attempts per
+//!   cell with exponential backoff and *deterministic* jitter derived from
+//!   the cell key and attempt number ([`ci_runner::fault::mix`]), so two
+//!   identical runs back off identically and replay stays byte-stable.
+//! - **Cooperative deadlines** — the deadline is checked before every
+//!   attempt and bounds every backoff sleep; a request never blocks past
+//!   its deadline waiting to retry.
+
+use crate::metrics::ServeMetrics;
+use ci_runner::fault::mix;
+use ci_runner::{CellOutput, CellSpec, Engine};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Retry/backoff policy for supervised cell computation.
+#[derive(Clone, Copy, Debug)]
+pub struct Supervisor {
+    /// Re-attempts after the first failed try (so `max_retries + 1`
+    /// attempts total).
+    pub max_retries: u32,
+    /// First backoff step; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for Supervisor {
+    fn default() -> Supervisor {
+        Supervisor {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Why a supervised computation did not produce an output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellError {
+    /// The request's deadline passed (before an attempt or during backoff).
+    Deadline,
+    /// Every attempt panicked; `message` is the last panic payload.
+    Panicked {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Last panic payload, stringified.
+        message: String,
+    },
+}
+
+impl Supervisor {
+    /// Backoff before retry number `attempt` (1-based): exponential from
+    /// [`Supervisor::backoff_base`], capped, plus deterministic jitter
+    /// mixed from the cell key so identical runs sleep identically.
+    #[must_use]
+    pub fn backoff(&self, key_hash: u64, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_micros() as u64;
+        let step = base.saturating_mul(1_u64 << attempt.min(16));
+        let cap = self.backoff_cap.as_micros() as u64;
+        let jitter = mix(key_hash ^ u64::from(attempt)) % base.max(1);
+        Duration::from_micros(step.min(cap) + jitter)
+    }
+
+    /// Compute one cell under supervision. Returns the output, or a
+    /// [`CellError`] once retries are exhausted or the deadline passes.
+    pub fn run_cell(
+        &self,
+        eng: &Engine,
+        spec: &CellSpec,
+        deadline: Option<Instant>,
+        metrics: &ServeMetrics,
+    ) -> Result<CellOutput, CellError> {
+        let key_hash = spec.key().0;
+        let mut attempt = 0;
+        loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(CellError::Deadline);
+            }
+            match catch_unwind(AssertUnwindSafe(|| eng.cell(spec))) {
+                Ok(out) => return Ok(out),
+                Err(payload) => {
+                    ServeMetrics::bump(&metrics.panics_caught);
+                    let message = panic_message(payload.as_ref());
+                    if attempt >= self.max_retries {
+                        return Err(CellError::Panicked {
+                            attempts: attempt + 1,
+                            message,
+                        });
+                    }
+                    attempt += 1;
+                    ServeMetrics::bump(&metrics.retries);
+                    let mut pause = self.backoff(key_hash, attempt);
+                    if let Some(d) = deadline {
+                        let left = d.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            return Err(CellError::Deadline);
+                        }
+                        pause = pause.min(left);
+                    }
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+    }
+}
+
+/// Stringify a panic payload (panics carry `&str` or `String` in practice).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_runner::{EngineOptions, FaultPlan, INJECTED_PANIC};
+    use ci_workloads::Workload;
+    use std::sync::Arc;
+
+    fn spec(seed: u64) -> CellSpec {
+        CellSpec::Study {
+            workload: Workload::CompressLike,
+            instructions: 300,
+            seed,
+        }
+    }
+
+    fn engine_with(plan: FaultPlan) -> Engine {
+        Engine::new(EngineOptions {
+            workers: 1,
+            cache_dir: None,
+            faults: Some(Arc::new(plan)),
+        })
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let s = Supervisor::default();
+        for attempt in 1..=8 {
+            let a = s.backoff(0xABCD, attempt);
+            let b = s.backoff(0xABCD, attempt);
+            assert_eq!(a, b);
+            assert!(a <= s.backoff_cap + s.backoff_base);
+        }
+        // Different keys jitter differently somewhere in the range.
+        assert_ne!(s.backoff(1, 1), s.backoff(2, 1));
+    }
+
+    #[test]
+    fn retries_recover_from_transient_panics() {
+        // Rate 1 selects every cell; budget 2 means two panics then success.
+        let eng = engine_with(FaultPlan::new(11).with_panics(1, 2));
+        let m = ServeMetrics::default();
+        let out = Supervisor::default()
+            .run_cell(&eng, &spec(1), None, &m)
+            .expect("third attempt succeeds");
+        assert_eq!(out, Engine::serial().cell(&spec(1)));
+        assert_eq!(ServeMetrics::read(&m.panics_caught), 2);
+        assert_eq!(ServeMetrics::read(&m.retries), 2);
+    }
+
+    #[test]
+    fn persistent_panics_exhaust_retries() {
+        let sup = Supervisor {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(500),
+        };
+        // Budget far above the retry limit: the fault never clears.
+        let eng = engine_with(FaultPlan::new(11).with_panics(1, 1_000));
+        let m = ServeMetrics::default();
+        let err = sup.run_cell(&eng, &spec(2), None, &m).unwrap_err();
+        match err {
+            CellError::Panicked { attempts, message } => {
+                assert_eq!(attempts, 3);
+                assert!(message.contains(INJECTED_PANIC), "message: {message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(ServeMetrics::read(&m.panics_caught), 3);
+    }
+
+    #[test]
+    fn deadline_bounds_the_whole_attempt_loop() {
+        let eng = engine_with(FaultPlan::new(11).with_panics(1, 1_000));
+        let m = ServeMetrics::default();
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let err = Supervisor::default()
+            .run_cell(&eng, &spec(3), Some(deadline), &m)
+            .unwrap_err();
+        assert_eq!(err, CellError::Deadline);
+        // Expired before the first attempt: nothing was computed.
+        assert_eq!(ServeMetrics::read(&m.panics_caught), 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end soak of the daemon under an active fault plan.
+//!
+//! The contract being pinned (see `DESIGN.md`): with deterministic faults
+//! injected at every layer — compute panics, artificial latency, cache
+//! write failures, worker kills, stalling and disconnecting clients — the
+//! service loses **zero** tracked responses, keeps response streams
+//! well-formed, and serves payloads **byte-identical** to a direct
+//! in-process engine run and to every other request for the same cell.
+
+use ci_obs::json;
+use ci_runner::engine::render_cache_line;
+use ci_runner::{Engine, EngineOptions, FaultPlan};
+use ci_serve::loadgen::{self, expected_cells, LoadConfig};
+use ci_serve::metrics::ServeMetrics;
+use ci_serve::proto::{Class, Request};
+use ci_serve::{Client, Server, ServerOptions};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(test: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("ci-soak-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn server_opts() -> ServerOptions {
+    ServerOptions {
+        serve_workers: 2,
+        ..ServerOptions::default()
+    }
+}
+
+/// What a direct, unsupervised engine run renders for every cell the load
+/// mix can request: key → payload (parse→render normalized, exactly like
+/// the load generator records payloads).
+fn direct_payloads(cfg: &LoadConfig) -> HashMap<String, String> {
+    let eng = Engine::serial();
+    let mut map = HashMap::new();
+    for spec in expected_cells(cfg) {
+        let line = render_cache_line(&spec.canonical(), &eng.cell(&spec));
+        let v = json::parse(&line).expect("cache line is valid JSON");
+        let key = v.get("key").unwrap().as_str().unwrap().to_owned();
+        map.insert(key, v.render());
+    }
+    map
+}
+
+#[test]
+fn soak_replay_under_faults_loses_nothing_and_stays_deterministic() {
+    let tmp = TempDir::new("replay");
+    let server_faults = Arc::new(
+        FaultPlan::new(0xC1)
+            .with_panics(3, 2)
+            .with_latency(5, 2, Duration::from_millis(1))
+            .with_cache_write_faults(2, 1),
+    );
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            workers: 1,
+            cache_dir: Some(tmp.0.clone()),
+            faults: Some(Arc::clone(&server_faults)),
+        },
+        ..server_opts()
+    })
+    .expect("bind");
+    let client_faults = Arc::new(
+        FaultPlan::new(0xD2)
+            .with_client_stalls(4, 3, Duration::from_millis(2))
+            .with_client_disconnects(5, 2),
+    );
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 6,
+        requests_per_client: 12,
+        seed: 0x10AD,
+        instructions: 400,
+        faults: Some(client_faults),
+        send_shutdown: false,
+    };
+    let report = loadgen::run(&cfg);
+
+    assert_eq!(report.lost, 0, "no tracked response may be lost");
+    assert_eq!(report.malformed, 0, "response streams must be well-formed");
+    assert_eq!(report.nondeterministic, 0, "payloads must never differ");
+    assert!(report.healthy());
+    assert_eq!(
+        report.sent,
+        report.done + report.shed + report.deadline + report.rejected + report.errors,
+        "every tracked request ends in exactly one terminal outcome"
+    );
+    assert!(report.done > 0, "most requests should succeed");
+    assert!(report.abandoned > 0, "disconnect faults must have fired");
+    assert!(report.stalls > 0, "stall faults must have fired");
+    assert!(
+        server_faults.injected_total() > 0,
+        "server-side faults must have fired"
+    );
+
+    // Byte-identical against a direct engine run, for every observed cell.
+    let expected = direct_payloads(&cfg);
+    assert!(!report.payloads.is_empty());
+    for (key, payload) in &report.payloads {
+        let want = expected
+            .get(key)
+            .unwrap_or_else(|| panic!("unexpected cell key {key}"));
+        assert_eq!(payload, want, "payload for {key} diverged from direct run");
+    }
+
+    // The daemon recovered from every injected panic: supervision caught
+    // them, retried, and the books balance.
+    let m = server.metrics();
+    assert!(ServeMetrics::read(&m.panics_caught) > 0);
+    server.shutdown();
+    server.wait();
+    assert_eq!(m.in_flight(), 0, "daemon drained every admitted request");
+}
+
+#[test]
+fn worker_kills_degrade_to_serial_without_losing_requests() {
+    // Rate 1 selects every worker: both serve workers die on their first
+    // job, the queue is rescued, and reader threads execute serially.
+    let faults = Arc::new(FaultPlan::new(7).with_worker_kills(1, 8));
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            workers: 1,
+            cache_dir: None,
+            faults: Some(Arc::clone(&faults)),
+        },
+        ..server_opts()
+    })
+    .expect("bind");
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 3,
+        requests_per_client: 5,
+        seed: 0xFEED,
+        instructions: 300,
+        faults: None,
+        send_shutdown: false,
+    };
+    let report = loadgen::run(&cfg);
+    assert!(report.healthy(), "degraded mode must not lose work");
+    assert_eq!(report.done, report.sent, "every request completes");
+    let m = server.metrics();
+    assert_eq!(ServeMetrics::read(&m.workers_lost), 2, "both workers die");
+    assert!(
+        ServeMetrics::read(&m.degraded) > 0,
+        "serial fallback must have executed requests"
+    );
+    server.shutdown();
+    server.wait();
+    assert_eq!(m.in_flight(), 0);
+}
+
+#[test]
+fn deadlines_produce_deadline_terminals_not_hangs() {
+    let server = Server::start(server_opts()).expect("bind");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    let lines = client
+        .request(&Request::Table {
+            id: "dl".into(),
+            name: "table1".into(),
+            instructions: 400,
+            seed: 9,
+            class: Class::Bulk,
+            deadline_ms: Some(0),
+        })
+        .expect("response");
+    let last = lines.last().unwrap();
+    assert_eq!(last.get("status").unwrap().as_str(), Some("deadline"));
+    assert_eq!(ServeMetrics::read(&server.metrics().deadlines), 1);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn overload_sheds_bulk_but_never_loses_requests() {
+    // A tiny queue and a worker slowed by injected latency force the
+    // admission path to shed bulk work. Exact shed counts depend on worker
+    // timing; the invariants do not: every request gets exactly one
+    // terminal line and nothing is lost or malformed.
+    let faults = Arc::new(FaultPlan::new(3).with_latency(1, 64, Duration::from_millis(20)));
+    let server = Server::start(ServerOptions {
+        engine: EngineOptions {
+            workers: 1,
+            cache_dir: None,
+            faults: Some(faults),
+        },
+        serve_workers: 1,
+        queue_cap: 2,
+        per_client_cap: 16,
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 4,
+        requests_per_client: 6,
+        seed: 0x0B5E,
+        instructions: 300,
+        faults: None,
+        send_shutdown: false,
+    };
+    let report = loadgen::run(&cfg);
+    assert!(report.healthy());
+    assert_eq!(
+        report.sent,
+        report.done + report.shed + report.deadline + report.rejected + report.errors
+    );
+    server.shutdown();
+    server.wait();
+    assert_eq!(server.metrics().in_flight(), 0);
+}
+
+#[test]
+fn status_unknown_names_and_bad_lines_are_answered() {
+    let server = Server::start(server_opts()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let lines = client
+        .request(&Request::Status { id: "s1".into() })
+        .expect("status");
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].get("serve").is_some());
+    assert_eq!(
+        lines[0]
+            .get("engine")
+            .and_then(|e| e.get("schema"))
+            .and_then(ci_obs::JsonValue::as_str),
+        Some("run_metrics/v1")
+    );
+
+    let lines = client
+        .request(&Request::Table {
+            id: "t9".into(),
+            name: "table9".into(),
+            instructions: 100,
+            seed: 1,
+            class: Class::Bulk,
+            deadline_ms: None,
+        })
+        .expect("response");
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0].get("status").unwrap().as_str(), Some("error"));
+
+    // Malformed line: rejected, connection stays usable.
+    use std::io::Write;
+    client_raw_send(&addr, "{\"kind\":\"mystery\",\"id\":\"m1\"}\n");
+    let lines = client
+        .request(&Request::Shutdown { id: "x".into() })
+        .expect("shutdown ack");
+    assert_eq!(lines[0].get("status").unwrap().as_str(), Some("bye"));
+    server.wait();
+
+    fn client_raw_send(addr: &str, line: &str) {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        s.write_all(line.as_bytes()).expect("send");
+        // Read the rejection so the write is known to have been processed.
+        let mut buf = [0_u8; 1024];
+        use std::io::Read;
+        let n = s.read(&mut buf).expect("read rejection");
+        let text = std::str::from_utf8(&buf[..n]).expect("utf8");
+        assert!(text.contains("\"rejected\""), "got: {text}");
+    }
+}
+
+#[test]
+fn repeated_identical_soaks_are_byte_identical() {
+    // Cross-run determinism: the same seeds (load mix and fault plan)
+    // produce the same payload set, byte for byte — faults and all.
+    let run_once = || {
+        let server = Server::start(ServerOptions {
+            engine: EngineOptions {
+                workers: 1,
+                cache_dir: None,
+                faults: Some(Arc::new(FaultPlan::new(0xC1).with_panics(3, 2))),
+            },
+            ..server_opts()
+        })
+        .expect("bind");
+        let cfg = LoadConfig {
+            addr: server.local_addr().to_string(),
+            clients: 3,
+            requests_per_client: 6,
+            seed: 0x5EED,
+            instructions: 300,
+            faults: None,
+            send_shutdown: false,
+        };
+        let report = loadgen::run(&cfg);
+        assert!(report.healthy());
+        server.shutdown();
+        server.wait();
+        let mut payloads: Vec<(String, String)> = report.payloads.into_iter().collect();
+        payloads.sort();
+        payloads
+    };
+    assert_eq!(run_once(), run_once());
+}

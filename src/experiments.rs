@@ -870,6 +870,60 @@ pub fn all_experiment_cells(scale: &Scale) -> Vec<CellSpec> {
     cells
 }
 
+/// Every table/figure name accepted by [`request_cells`], in publication
+/// order, plus the `"all"` union. These are the request names understood by
+/// the `ci-serve` daemon's `table` requests.
+pub const REQUEST_NAMES: [&str; 16] = [
+    "table1",
+    "figure3",
+    "figure5_6",
+    "table2",
+    "table3",
+    "table4",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure17",
+    "distributions",
+    "all",
+    "smoke",
+];
+
+/// The cells behind a named table or figure, for callers (like the
+/// `ci-serve` daemon) that address experiments by name rather than by
+/// builder function. Returns `None` for unknown names; see
+/// [`REQUEST_NAMES`] for the accepted set. `"smoke"` is a deliberately tiny
+/// single-cell request for health checks and load generation.
+#[must_use]
+pub fn request_cells(name: &str, scale: &Scale) -> Option<Vec<CellSpec>> {
+    Some(match name {
+        "table1" => table1_cells(scale),
+        "figure3" => figure3_cells(scale, &FIGURE3_WINDOWS),
+        "figure5_6" => figure5_6_cells(scale, &FIGURE5_WINDOWS),
+        "table2" => table2_cells(scale),
+        "table3" => table3_cells(scale),
+        "table4" => table4_cells(scale),
+        "figure8" => figure8_cells(scale),
+        "figure9" => figure9_cells(scale),
+        "figure10" => figure10_cells(scale),
+        "figure12" => figure12_cells(scale),
+        "figure13" => figure13_cells(scale),
+        "figure14" => figure14_cells(scale),
+        "figure17" => figure17_cells(scale),
+        "distributions" => distributions_cells(scale),
+        "all" => all_experiment_cells(scale),
+        "smoke" => vec![CellSpec::Study {
+            workload: Workload::CompressLike,
+            instructions: scale.instructions.min(2_000),
+            seed: scale.seed,
+        }],
+        _ => return None,
+    })
+}
+
 /// The full evaluation: every table and figure, in publication order.
 ///
 /// Prefetches the union of all cells first so the engine's workers see one
@@ -963,6 +1017,21 @@ mod tests {
             eng.cells_computed(),
             computed_after_t2,
             "table3/distributions must reuse table2's cells"
+        );
+    }
+
+    #[test]
+    fn request_cells_covers_every_name() {
+        let scale = tiny();
+        for name in REQUEST_NAMES {
+            let cells = request_cells(name, &scale)
+                .unwrap_or_else(|| panic!("{name} must resolve to cells"));
+            assert!(!cells.is_empty(), "{name} resolved to an empty cell list");
+        }
+        assert!(request_cells("table9", &scale).is_none());
+        assert_eq!(
+            request_cells("all", &scale).unwrap(),
+            all_experiment_cells(&scale)
         );
     }
 
