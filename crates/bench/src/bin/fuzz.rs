@@ -3,29 +3,41 @@
 //! Runs randomized programs and pipeline configurations in lockstep against
 //! the functional emulator, checking bit-exact retirement and the
 //! cross-model dominance invariants; failures are shrunk to minimal
-//! reproducers and written as replayable JSON artifacts.
+//! reproducers and written as replayable JSON artifacts. With
+//! `--mode coverage` the campaign is corpus-driven: coverage-novel programs
+//! persist under `--corpus-dir` and later trials mutate them instead of
+//! starting from scratch.
 //!
 //! ```text
 //! fuzz [--seed N] [--iters N | --time-budget SECS] [--workers N]
+//!      [--mode random|coverage] [--corpus-dir DIR] [--round-size N]
+//!      [--coverage-report PATH] [--baseline PATH]
 //!      [--artifact-dir DIR] [--shrink-budget N]
 //! fuzz --replay ARTIFACT.json
 //! ```
 //!
-//! Exit status is 0 when every trial passed, 1 when any failed, 2 on usage
-//! errors.
+//! Exit status: 0 when every trial passed and no coverage floor was
+//! violated, 1 on findings (failing trials, reproduced replays, coverage
+//! below the baseline floor), 2 on harness errors (usage, unreadable
+//! corpus/baseline/artifact files).
 
-use ci_difftest::{replay, run_fuzz, Artifact, FuzzOptions};
+use ci_difftest::{replay, run_campaign, Artifact, FuzzMode, FuzzOptions, FuzzSummary};
+use control_independence::ci_obs::json;
 use std::path::PathBuf;
 use std::time::Duration;
 
 struct Cli {
     opts: FuzzOptions,
     replay: Option<PathBuf>,
+    coverage_report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--iters N | --time-budget SECS] [--workers N]\n\
+         \x20           [--mode random|coverage] [--corpus-dir DIR] [--round-size N]\n\
+         \x20           [--coverage-report PATH] [--baseline PATH]\n\
          \x20           [--artifact-dir DIR] [--shrink-budget N]\n\
          \x20      fuzz --replay ARTIFACT.json"
     );
@@ -38,6 +50,8 @@ fn parse_args() -> Cli {
         ..FuzzOptions::default()
     };
     let mut replay = None;
+    let mut coverage_report = None;
+    let mut baseline = None;
     let mut iters_given = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +86,25 @@ fn parse_args() -> Cli {
             "--workers" => {
                 opts.workers = value("--workers").parse().unwrap_or_else(|_| usage());
             }
+            "--mode" => {
+                let v = value("--mode");
+                opts.mode = FuzzMode::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("bad --mode {v:?} (random|coverage)");
+                    usage();
+                });
+            }
+            "--corpus-dir" => {
+                opts.corpus_dir = Some(PathBuf::from(value("--corpus-dir")));
+                // A corpus only makes sense when coverage guides.
+                opts.mode = FuzzMode::Coverage;
+            }
+            "--round-size" => {
+                opts.round_size = value("--round-size").parse().unwrap_or_else(|_| usage());
+            }
+            "--coverage-report" => {
+                coverage_report = Some(PathBuf::from(value("--coverage-report")));
+            }
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
             "--artifact-dir" => opts.artifact_dir = Some(PathBuf::from(value("--artifact-dir"))),
             "--shrink-budget" => {
                 opts.shrink_budget = value("--shrink-budget").parse().unwrap_or_else(|_| usage());
@@ -84,7 +117,12 @@ fn parse_args() -> Cli {
             }
         }
     }
-    Cli { opts, replay }
+    Cli {
+        opts,
+        replay,
+        coverage_report,
+        baseline,
+    }
 }
 
 fn replay_artifact(path: &PathBuf) -> i32 {
@@ -123,17 +161,64 @@ fn replay_artifact(path: &PathBuf) -> i32 {
     1
 }
 
+/// Check the summary against a `coverage_baseline/v1` floor file.
+/// Returns `Ok(true)` when the floor holds, `Ok(false)` on a regression.
+fn check_baseline(path: &PathBuf, summary: &FuzzSummary) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let v = json::parse(&text).map_err(|e| format!("bad baseline {}: {e}", path.display()))?;
+    if v.get("format").and_then(json::JsonValue::as_str) != Some("coverage_baseline/v1") {
+        return Err(format!("baseline {} has unknown format", path.display()));
+    }
+    let floor = |key: &str| v.get(key).and_then(json::JsonValue::as_i64).unwrap_or(0) as usize;
+    let mut ok = true;
+    let min_seeded = floor("min_seeded_edges");
+    if summary.seeded_edges < min_seeded {
+        eprintln!(
+            "coverage regression: corpus seeds {} edges, baseline floor is {min_seeded}",
+            summary.seeded_edges
+        );
+        ok = false;
+    }
+    let min_entries = floor("min_corpus_entries");
+    if summary.corpus_entries < min_entries {
+        eprintln!(
+            "corpus regression: {} entries, baseline floor is {min_entries}",
+            summary.corpus_entries
+        );
+        ok = false;
+    }
+    Ok(ok)
+}
+
 fn main() {
     let cli = parse_args();
     if let Some(path) = &cli.replay {
         std::process::exit(replay_artifact(path));
     }
 
-    let summary = run_fuzz(&cli.opts);
+    let summary = match run_campaign(&cli.opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fuzz harness error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "fuzz: {} trials in {:.1?}, {} failed (seed {:#x}, {} workers)",
-        summary.trials, summary.elapsed, summary.failed, cli.opts.seed, cli.opts.workers
+        "fuzz: {} trials in {:.1?}, {} failed (seed {:#x}, {} workers, mode {})",
+        summary.trials,
+        summary.elapsed,
+        summary.failed,
+        cli.opts.seed,
+        cli.opts.workers,
+        summary.mode.name()
     );
+    if summary.mode == FuzzMode::Coverage || cli.coverage_report.is_some() {
+        print!("{}", summary.coverage_table());
+    }
+    for q in &summary.quarantined {
+        println!("  quarantined corrupt corpus entry: {}", q.display());
+    }
     for (artifact, path) in summary.artifacts.iter().zip(
         summary
             .written
@@ -160,5 +245,23 @@ fn main() {
             summary.failed - summary.artifacts.len() as u64
         );
     }
-    std::process::exit(i32::from(!summary.clean()));
+    if let Some(path) = &cli.coverage_report {
+        if let Err(e) = std::fs::write(path, summary.coverage_json()) {
+            eprintln!("cannot write coverage report {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("coverage report written to {}", path.display());
+    }
+    let mut findings = !summary.clean();
+    if let Some(path) = &cli.baseline {
+        match check_baseline(path, &summary) {
+            Ok(true) => println!("coverage baseline holds"),
+            Ok(false) => findings = true,
+            Err(e) => {
+                eprintln!("fuzz harness error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(i32::from(findings));
 }

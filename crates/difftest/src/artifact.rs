@@ -229,7 +229,7 @@ fn stmts_to_json(stmts: &[Stmt]) -> JsonValue {
     JsonValue::Arr(stmts.iter().map(stmt_to_json).collect())
 }
 
-fn program_to_json(p: &StructuredProgram) -> JsonValue {
+pub(crate) fn program_to_json(p: &StructuredProgram) -> JsonValue {
     JsonValue::obj([
         (
             "init",
@@ -337,7 +337,7 @@ fn parse_stmts(v: &JsonValue) -> Result<Vec<Stmt>, String> {
         .collect()
 }
 
-fn program_from_json(v: &JsonValue) -> Result<StructuredProgram, String> {
+pub(crate) fn program_from_json(v: &JsonValue) -> Result<StructuredProgram, String> {
     let mut init = Vec::new();
     for pair in v
         .get("init")

@@ -1,0 +1,241 @@
+//! Trial-level coverage: salted per-machine signatures, config-derived
+//! features, and the campaign-global coverage map.
+//!
+//! Each trial runs the three detailed machines (BASE / CI / CI-I) with a
+//! [`ci_obs::CoverageRecorder`] attached. The recorder hashes **event
+//! bigrams with restart-depth context** (see `ci-obs`); this module decides
+//! *which key space* each machine's edges land in and folds in the features
+//! only the harness can see:
+//!
+//! - **Machine × handling-mode salt.** An edge exercised under selective
+//!   squash with non-speculative completion is a different verification
+//!   target from the same event sequence under full squash — the recovery
+//!   code paths involved are different. Each machine's recorder is salted
+//!   with [`mode_salt`], a hash of the machine index and the
+//!   recovery-relevant configuration axes (completion model, preemption,
+//!   repredict mode, reconvergence family, window/segment class). The
+//!   deliberately *excluded* axes (cache geometry, predictor size, exact
+//!   window size) shape behaviour that already shows up in the event
+//!   stream; salting by them would reward config enumeration instead of
+//!   behavioural novelty.
+//! - **Restart-depth × handling-mode buckets.** The maximum restart
+//!   nesting depth each machine reached is folded in as its own feature,
+//!   one bit per (mode, depth) bucket — a campaign that has driven CI-I
+//!   with optimal preemption to depth 3 has verified something a depth-1
+//!   campaign has not.
+//!
+//! The union of the three salted signatures is the trial's
+//! [`TrialCoverage`]; [`CoverageMap`] accumulates trials and reports how
+//! many edges each one contributed.
+
+use crate::spec::TrialSpec;
+use ci_core::{CompletionModel, PipelineConfig, Preemption, RepredictMode};
+use ci_obs::{mix64, CoverageSignature};
+
+/// Coverage extracted from one trial: the union of the three machines'
+/// salted signatures plus depth-bucket features.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrialCoverage {
+    /// Union signature across BASE / CI / CI-I.
+    pub signature: CoverageSignature,
+    /// Deepest restart nesting any machine reached.
+    pub max_restart_depth: u32,
+}
+
+impl TrialCoverage {
+    /// Distinct edges in the union signature.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.signature.count()
+    }
+
+    /// Fold one machine's run into the trial: merge its signature and add
+    /// the (mode, max-depth) bucket features.
+    pub fn absorb(&mut self, salt: u64, sig: &CoverageSignature, max_depth: u32) {
+        self.signature.merge(sig);
+        // One bit per depth reached under this mode: depth 3 implies the
+        // campaign also saw 1 and 2, so set the whole prefix — a deeper
+        // trial strictly dominates a shallower one.
+        for d in 1..=max_depth.min(7) {
+            self.signature
+                .insert(mix64(salt ^ 0xDEEB_u64 << 32 ^ u64::from(d)));
+        }
+        self.max_restart_depth = self.max_restart_depth.max(max_depth);
+    }
+}
+
+/// Stable bucket for the recovery-relevant configuration axes of one
+/// machine run. `machine` is the variant index (0 = BASE, 1 = CI,
+/// 2 = CI-I) from [`TrialSpec::detailed_variants`].
+#[must_use]
+pub fn mode_salt(machine: usize, config: &PipelineConfig) -> u64 {
+    let completion = match config.completion {
+        CompletionModel::SpecC => 0u64,
+        CompletionModel::NonSpec => 1,
+        CompletionModel::SpecD => 2,
+        CompletionModel::Spec => 3,
+    };
+    let preemption = match config.preemption {
+        Preemption::Simple => 0u64,
+        Preemption::Optimal => 1,
+    };
+    let repredict = match config.repredict {
+        RepredictMode::Heuristic => 0u64,
+        RepredictMode::None => 1,
+        RepredictMode::Oracle => 2,
+    };
+    // Reconvergence family, not exact heuristic mix: software post-dominator
+    // vs how many hardware detectors are armed.
+    let recon = if config.recon.postdominator {
+        0u64
+    } else {
+        1 + u64::from(config.recon.returns)
+            + u64::from(config.recon.loops)
+            + u64::from(config.recon.ltb)
+    };
+    // Window/segment class: tiny vs small vs large windows behave
+    // differently under restart pressure; segmentation changes capacity
+    // accounting.
+    let window_class = match config.window {
+        0..=24 => 0u64,
+        25..=64 => 1,
+        _ => 2,
+    };
+    let segmented = u64::from(config.segment > 1);
+    mix64(
+        (machine as u64) << 40
+            | completion << 32
+            | preemption << 28
+            | repredict << 24
+            | recon << 16
+            | window_class << 8
+            | segmented,
+    )
+}
+
+/// Per-machine salts for one trial spec, in `detailed_variants` order.
+#[must_use]
+pub fn trial_salts(spec: &TrialSpec) -> [u64; 3] {
+    let variants = spec.detailed_variants();
+    [
+        mode_salt(0, &variants[0].1),
+        mode_salt(1, &variants[1].1),
+        mode_salt(2, &variants[2].1),
+    ]
+}
+
+/// The campaign-global accumulated coverage map.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageMap {
+    map: CoverageSignature,
+    /// Trials merged in (executions).
+    pub execs: u64,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Total distinct edges observed.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.map.count()
+    }
+
+    /// Merge one trial's coverage; returns how many of its edges were new.
+    pub fn merge(&mut self, cov: &TrialCoverage) -> usize {
+        self.execs += 1;
+        self.map.merge(&cov.signature)
+    }
+
+    /// Merge a bare signature (corpus seeding) without counting an
+    /// execution; returns how many edges were new.
+    pub fn seed(&mut self, sig: &CoverageSignature) -> usize {
+        self.map.merge(sig)
+    }
+
+    /// How many of `cov`'s edges the map has not seen yet.
+    #[must_use]
+    pub fn novelty(&self, cov: &TrialCoverage) -> usize {
+        cov.signature.novel_against(&self.map)
+    }
+
+    /// Mean executions per discovered edge (`execs / edges`); `0.0` when
+    /// nothing has been discovered.
+    #[must_use]
+    pub fn execs_per_edge(&self) -> f64 {
+        let e = self.edges();
+        if e == 0 {
+            0.0
+        } else {
+            self.execs as f64 / e as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ci_core::SquashMode;
+
+    #[test]
+    fn mode_salts_separate_machines_and_modes() {
+        let spec = TrialSpec::generate(3);
+        let [a, b, c] = trial_salts(&spec);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // Changing a recovery-relevant axis moves the salt...
+        let mut other = spec.config;
+        other.completion = if other.completion == CompletionModel::NonSpec {
+            CompletionModel::Spec
+        } else {
+            CompletionModel::NonSpec
+        };
+        assert_ne!(mode_salt(1, &spec.config), mode_salt(1, &other));
+        // ...changing an excluded axis (predictor size) does not.
+        let mut pred = spec.config;
+        pred.predictor_bits += 1;
+        assert_eq!(mode_salt(1, &spec.config), mode_salt(1, &pred));
+        // And the salt ignores the squash field itself (the machine index
+        // already encodes the variant).
+        let mut squash = spec.config;
+        squash.squash = SquashMode::Full;
+        assert_eq!(mode_salt(1, &spec.config), mode_salt(1, &squash));
+    }
+
+    #[test]
+    fn depth_buckets_are_prefix_closed_and_mode_keyed() {
+        let mut shallow = TrialCoverage::default();
+        shallow.absorb(7, &CoverageSignature::new(), 1);
+        let mut deep = TrialCoverage::default();
+        deep.absorb(7, &CoverageSignature::new(), 3);
+        assert_eq!(shallow.edges(), 1);
+        assert_eq!(deep.edges(), 3);
+        assert_eq!(deep.signature.novel_against(&shallow.signature), 2);
+        assert_eq!(shallow.signature.novel_against(&deep.signature), 0);
+
+        let mut other_mode = TrialCoverage::default();
+        other_mode.absorb(8, &CoverageSignature::new(), 1);
+        assert_eq!(other_mode.signature.novel_against(&shallow.signature), 1);
+        assert_eq!(deep.max_restart_depth, 3);
+    }
+
+    #[test]
+    fn map_tracks_novelty_and_execs() {
+        let mut map = CoverageMap::new();
+        let mut cov = TrialCoverage::default();
+        let mut sig = CoverageSignature::new();
+        sig.insert(1);
+        sig.insert(2);
+        cov.absorb(0, &sig, 0);
+        assert_eq!(map.novelty(&cov), 2);
+        assert_eq!(map.merge(&cov), 2);
+        assert_eq!(map.merge(&cov), 0);
+        assert_eq!(map.execs, 2);
+        assert_eq!(map.edges(), 2);
+        assert!((map.execs_per_edge() - 1.0).abs() < f64::EPSILON);
+    }
+}

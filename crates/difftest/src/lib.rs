@@ -36,15 +36,23 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod corpus;
+mod coverage;
 mod fuzz;
 mod lockstep;
+mod mutate;
 mod shrink;
 mod spec;
 mod trial;
 
 pub use artifact::{replay, Artifact};
-pub use fuzz::{run_fuzz, silence_panics, trial_seed, FuzzOptions, FuzzSummary};
-pub use lockstep::{run_locked, LockstepRun};
+pub use corpus::{Corpus, CorpusEntry, SeedOrigin};
+pub use coverage::{mode_salt, trial_salts, CoverageMap, TrialCoverage};
+pub use fuzz::{
+    run_campaign, run_fuzz, silence_panics, trial_seed, FuzzMode, FuzzOptions, FuzzSummary,
+};
+pub use lockstep::{run_locked, run_locked_salted, LockstepRun};
+pub use mutate::{is_well_formed, mutate, MutationKind};
 pub use shrink::{shrink, ShrinkStats};
 pub use spec::TrialSpec;
-pub use trial::{check_program, run_trial, Failure, FailureKind, TrialOutcome};
+pub use trial::{check_program, check_program_cov, run_trial, Failure, FailureKind, TrialOutcome};

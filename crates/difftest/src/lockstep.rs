@@ -4,17 +4,28 @@
 use ci_core::{Pipeline, PipelineConfig, Stats};
 use ci_emu::Trace;
 use ci_isa::Program;
-use ci_obs::{Event, FlightRecorder, Probe};
+use ci_obs::{CoverageRecorder, CoverageSignature, Event, FlightRecorder, Probe};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Probe used by every lockstep run: a bounded flight recorder (for failure
-/// transcripts) plus an independent log of retired PCs (so the harness
+/// transcripts), an independent log of retired PCs (so the harness
 /// re-verifies the retirement stream itself instead of trusting the
-/// pipeline's internal checker alone).
+/// pipeline's internal checker alone), and a coverage recorder feeding the
+/// corpus-guided fuzzer's novelty signal.
 #[derive(Debug, Default)]
 pub(crate) struct DiffProbe {
     pub flight: FlightRecorder,
     pub retired_pcs: Vec<u32>,
+    pub coverage: CoverageRecorder,
+}
+
+impl DiffProbe {
+    fn with_salt(salt: u64) -> DiffProbe {
+        DiffProbe {
+            coverage: CoverageRecorder::with_salt(salt),
+            ..DiffProbe::default()
+        }
+    }
 }
 
 impl Probe for DiffProbe {
@@ -23,6 +34,7 @@ impl Probe for DiffProbe {
         if let Event::Retire { pc, .. } = event {
             self.retired_pcs.push(pc);
         }
+        self.coverage.record(cycle, event);
         self.flight.record(cycle, event);
     }
 
@@ -43,6 +55,11 @@ pub struct LockstepRun {
     pub panic: Option<String>,
     /// Flight-recorder transcript (the machine's final cycles).
     pub flight: String,
+    /// Coverage signature observed through the probe (empty when the run
+    /// panicked — the probe dies with the unwound pipeline).
+    pub coverage: CoverageSignature,
+    /// Deepest restart nesting the run reached (0 when it panicked).
+    pub max_restart_depth: u32,
 }
 
 impl LockstepRun {
@@ -89,8 +106,22 @@ pub fn run_locked(
     max_insts: u64,
     corrupt: Option<usize>,
 ) -> LockstepRun {
+    run_locked_salted(program, config, max_insts, corrupt, 0)
+}
+
+/// [`run_locked`] with an explicit coverage salt: every edge the run's
+/// coverage recorder sets folds `salt` in, so different machine variants
+/// and handling modes land in distinct regions of the campaign map.
+#[must_use]
+pub fn run_locked_salted(
+    program: &Program,
+    config: PipelineConfig,
+    max_insts: u64,
+    corrupt: Option<usize>,
+    salt: u64,
+) -> LockstepRun {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut p = Pipeline::with_probe(program, config, max_insts, DiffProbe::default())
+        let mut p = Pipeline::with_probe(program, config, max_insts, DiffProbe::with_salt(salt))
             .expect("trial programs have valid traces");
         if let Some(idx) = corrupt {
             p.corrupt_oracle_entry(idx);
@@ -105,6 +136,8 @@ pub fn run_locked(
             retired_pcs: probe.retired_pcs,
             panic: None,
             flight: probe.flight.render(),
+            max_restart_depth: probe.coverage.max_depth(),
+            coverage: probe.coverage.into_signature(),
         },
         Err(payload) => {
             let msg = payload
@@ -117,6 +150,8 @@ pub fn run_locked(
                 retired_pcs: Vec::new(),
                 panic: Some(msg),
                 flight: String::new(),
+                coverage: CoverageSignature::new(),
+                max_restart_depth: 0,
             }
         }
     }

@@ -1,6 +1,7 @@
 //! One fuzz trial: generate, run every model in lockstep, check invariants.
 
-use crate::lockstep::run_locked;
+use crate::coverage::{trial_salts, TrialCoverage};
+use crate::lockstep::run_locked_salted;
 use crate::spec::TrialSpec;
 use ci_core::{CacheModel, SquashMode, Stats};
 use ci_emu::{run_trace, Trace};
@@ -107,7 +108,21 @@ pub fn run_trial(spec: &TrialSpec) -> TrialOutcome {
 /// Returns the dynamic instruction count and all failures found.
 #[must_use]
 pub fn check_program(program: &Program, spec: &TrialSpec) -> (usize, Vec<Failure>) {
+    let (dynamic_len, failures, _) = check_program_cov(program, spec);
+    (dynamic_len, failures)
+}
+
+/// [`check_program`] that additionally extracts the trial's coverage: the
+/// union of the three detailed machines' salted event-bigram signatures
+/// (see [`crate::coverage`]). The coverage-guided fuzzer calls this; plain
+/// correctness callers use [`check_program`].
+#[must_use]
+pub fn check_program_cov(
+    program: &Program,
+    spec: &TrialSpec,
+) -> (usize, Vec<Failure>, TrialCoverage) {
     let mut failures = Vec::new();
+    let mut coverage = TrialCoverage::default();
 
     let trace = match run_trace(program, spec.max_insts) {
         Ok(t) => t,
@@ -118,14 +133,16 @@ pub fn check_program(program: &Program, spec: &TrialSpec) -> (usize, Vec<Failure
                 detail: format!("emulator rejected the program: {e}"),
                 flight: String::new(),
             });
-            return (0, failures);
+            return (0, failures, coverage);
         }
     };
 
     // Detailed pipeline: BASE / CI / CI-I in lockstep with the oracle
     // checker armed, plus the harness's own retired-stream comparison.
-    for (name, config) in spec.detailed_variants() {
-        let run = run_locked(program, config, spec.max_insts, None);
+    let salts = trial_salts(spec);
+    for (machine, (name, config)) in spec.detailed_variants().into_iter().enumerate() {
+        let run = run_locked_salted(program, config, spec.max_insts, None, salts[machine]);
+        coverage.absorb(salts[machine], &run.coverage, run.max_restart_depth);
         if let Some(msg) = &run.panic {
             failures.push(Failure {
                 kind: FailureKind::Panic,
@@ -157,7 +174,7 @@ pub fn check_program(program: &Program, spec: &TrialSpec) -> (usize, Vec<Failure
     // The six idealized models and their dominance relations.
     failures.extend(ideal_invariants(program, spec, &trace));
 
-    (trace.len(), failures)
+    (trace.len(), failures, coverage)
 }
 
 /// Counter sanity for one detailed run. Only invariants that hold by

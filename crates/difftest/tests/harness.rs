@@ -57,6 +57,34 @@ fn campaigns_are_worker_count_independent() {
 }
 
 #[test]
+fn coverage_campaigns_are_worker_count_independent() {
+    // Coverage-guided campaigns are stateful (later rounds mutate earlier
+    // discoveries), so worker independence is a stronger claim than for
+    // pure-random fuzzing: tasks derive from (campaign seed, global index,
+    // corpus snapshot) and merge at round barriers in index order, making
+    // the whole trajectory a pure function of the options.
+    let run = |workers| {
+        ci_difftest::run_campaign(&FuzzOptions {
+            seed: 0xC07E,
+            iters: Some(18),
+            workers,
+            mode: ci_difftest::FuzzMode::Coverage,
+            round_size: 6,
+            ..FuzzOptions::default()
+        })
+        .expect("in-memory campaign cannot fail")
+    };
+    let solo = run(1);
+    let pool = run(4);
+    assert_eq!(solo.trials, pool.trials);
+    assert_eq!(solo.failed, pool.failed);
+    assert_eq!(solo.edges, pool.edges);
+    assert_eq!(solo.mutated, pool.mutated);
+    assert_eq!(solo.rejected, pool.rejected);
+    assert_eq!(solo.new_entries, pool.new_entries);
+}
+
+#[test]
 fn corrupted_oracle_shrinks_to_a_small_repro() {
     // Feed the shrinker a failure manufactured with the corrupt_oracle_entry
     // test hook: the divergence fires on the first retirement, so the

@@ -1,0 +1,69 @@
+//! Property tests for the corpus mutation engine.
+//!
+//! The fuzzer's value rests on three guarantees: every mutant stays inside
+//! the generator's safety envelope (well-formed: bounded nesting, bounded
+//! trip counts, compute-register discipline, no recursion), mutation is a
+//! pure function of `(program, seed)` so campaigns replay exactly, and
+//! mutants still *terminate* — the emitted program runs to completion on
+//! the functional emulator rather than spinning forever.
+
+use ci_difftest::{is_well_formed, mutate};
+use ci_emu::run_trace;
+use ci_workloads::random_structured;
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+proptest! {
+    #[test]
+    fn mutants_stay_well_formed(
+        pseed in any::<u64>(), hint in 8usize..160, mseed in any::<u64>()
+    ) {
+        let base = random_structured(pseed, hint);
+        prop_assert!(is_well_formed(&base), "generator output must be well-formed");
+        let (mutant, kind) = mutate(&base, mseed);
+        prop_assert!(
+            is_well_formed(&mutant),
+            "mutation {} broke well-formedness", kind.name()
+        );
+    }
+
+    #[test]
+    fn mutation_is_deterministic(
+        pseed in any::<u64>(), hint in 8usize..120, mseed in any::<u64>()
+    ) {
+        let base = random_structured(pseed, hint);
+        let (a, ka) = mutate(&base, mseed);
+        let (b, kb) = mutate(&base, mseed);
+        prop_assert_eq!(ka.name(), kb.name());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutants_change_the_program(
+        pseed in any::<u64>(), hint in 8usize..120, mseed in any::<u64>()
+    ) {
+        let base = random_structured(pseed, hint);
+        let (mutant, _) = mutate(&base, mseed);
+        prop_assert_ne!(mutant, base);
+    }
+}
+
+proptest! {
+    // Emulation per case makes these pricier; fewer cases suffice.
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    #[test]
+    fn mutation_chains_terminate(
+        pseed in any::<u64>(), hint in 8usize..80, mseed in any::<u64>()
+    ) {
+        let mut program = random_structured(pseed, hint);
+        for round in 0..3u64 {
+            let (next, _) = mutate(&program, mseed.wrapping_add(round));
+            program = next;
+        }
+        prop_assert!(is_well_formed(&program));
+        let trace = run_trace(&program.emit(), 5_000_000)
+            .expect("well-formed mutants must emulate without faulting");
+        prop_assert!(trace.completed(), "mutant did not halt within 5M instructions");
+    }
+}

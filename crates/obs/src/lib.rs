@@ -18,6 +18,9 @@
 //!   rendered as a cycle-grouped transcript when a run dies.
 //! * [`TimelineProbe`] — per-cycle activity records powering the `inspect`
 //!   binary's pipeline timeline.
+//! * [`CoverageRecorder`] — fixed-size bitmap of event-bigram ×
+//!   restart-depth edges, the coverage signal driving `ci-difftest`'s
+//!   corpus-guided fuzzing.
 //!
 //! The [`json`] module is a dependency-free JSON-lines writer/parser used
 //! by the exporters; nothing in this crate links outside `std`.
@@ -27,12 +30,14 @@
 
 pub mod json;
 
+mod coverage;
 mod flight;
 mod metrics;
 mod probe;
 mod profile;
 mod timeline;
 
+pub use coverage::{mix64, CoverageRecorder, CoverageSignature, COVERAGE_BITS};
 pub use flight::FlightRecorder;
 pub use json::JsonValue;
 pub use metrics::{EventCounters, Histogram, MetricsProbe, Registry};

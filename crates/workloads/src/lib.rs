@@ -49,7 +49,9 @@ mod vortex_like;
 
 pub use random::{random_program, random_structured};
 pub use rng::SplitMix64;
-pub use stmt::{count_nodes, CondKind, SimpleOp, Stmt, StructuredProgram};
+pub use stmt::{
+    count_nodes, CondKind, SimpleOp, Stmt, StructuredProgram, COMPUTE_REGS, MAX_LOOP_NEST,
+};
 
 use ci_isa::Program;
 use std::fmt;

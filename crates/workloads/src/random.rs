@@ -55,16 +55,7 @@ pub fn random_structured(seed: u64, size_hint: usize) -> StructuredProgram {
     g.generate(size_hint.clamp(4, 400) as i64)
 }
 
-const COMPUTE_REGS: [Reg; 8] = [
-    Reg::R1,
-    Reg::R2,
-    Reg::R3,
-    Reg::R4,
-    Reg::R5,
-    Reg::R6,
-    Reg::R7,
-    Reg::R8,
-];
+use crate::stmt::COMPUTE_REGS;
 
 struct Gen {
     rng: SplitMix64,

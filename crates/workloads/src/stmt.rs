@@ -176,17 +176,42 @@ impl StructuredProgram {
     }
 }
 
+/// Registers that generated/mutated [`SimpleOp`]s may read and write.
+///
+/// Everything outside this set is reserved infrastructure: `r0` is the
+/// zero register, `r9` is the emitter's indexed-address scratch, and
+/// `r20`–`r25` are loop counters. A structured program whose ops stay
+/// inside this set can never clobber a live loop counter, which is what
+/// makes termination a structural invariant — the fuzzing harness's
+/// mutation engine (`ci-difftest`) checks against this table.
+pub const COMPUTE_REGS: [Reg; 8] = [
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+];
+
+/// Deepest loop nesting the emitter supports: each bank below holds this
+/// many counter registers, indexed by depth modulo the bank size. Nesting
+/// deeper than this would alias an outer loop's live counter and hang the
+/// program, so structural editors (shrinker, mutator) must stay within it.
+pub const MAX_LOOP_NEST: usize = 3;
+
 /// Loop counter registers by loop-nesting depth; reserved by the generator
 /// (never produced by [`SimpleOp`] destinations). The main body and the leaf
 /// functions draw from disjoint banks: a function's loop must not clobber
 /// the counter of a caller's loop enclosing the call site.
-const BODY_COUNTERS: [Reg; 3] = [Reg::R20, Reg::R21, Reg::R22];
-const FUNC_COUNTERS: [Reg; 3] = [Reg::R23, Reg::R24, Reg::R25];
+const BODY_COUNTERS: [Reg; MAX_LOOP_NEST] = [Reg::R20, Reg::R21, Reg::R22];
+const FUNC_COUNTERS: [Reg; MAX_LOOP_NEST] = [Reg::R23, Reg::R24, Reg::R25];
 
 struct Emitter {
     a: Asm,
     label_n: u32,
-    counters: [Reg; 3],
+    counters: [Reg; MAX_LOOP_NEST],
 }
 
 impl Emitter {
