@@ -187,6 +187,16 @@ pub struct PipelineConfig {
     pub latencies: LatencyModel,
     /// log2 of gshare/CTB table sizes (paper: 16).
     pub predictor_bits: u32,
+    /// Confidence gating of control-independence resources: `0` (the
+    /// default) allocates a restart/reconvergence context for every
+    /// mispredicted branch, as the paper does. A value in `1..=15` attaches
+    /// a resetting-counter [`ConfidenceEstimator`](ci_bpred::ConfidenceEstimator)
+    /// (Jacobsen/Rotenberg/Smith) to fetch: branches whose prediction is
+    /// *high confidence* (counter ≥ threshold) are deemed unlikely to
+    /// mispredict, so the hardware skips CI setup for them and their (rare)
+    /// mispredictions recover with a complete squash. Lower thresholds gate
+    /// more aggressively. Has no effect on the BASE machine.
+    pub conf_threshold: u8,
     /// Verify every retired instruction against the functional trace.
     pub check: bool,
 }
@@ -211,6 +221,7 @@ impl PipelineConfig {
             cache: CacheModel::paper_realistic(),
             latencies: LatencyModel::new(),
             predictor_bits: 16,
+            conf_threshold: 0,
             check: true,
         }
     }

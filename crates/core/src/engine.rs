@@ -13,7 +13,10 @@ use crate::regfile::{MapTable, PhysReg, PhysRegFile};
 use crate::rob::{InstId, Rob, SegCursor};
 use crate::stats::Stats;
 use crate::wakeup::Wakeup;
-use ci_bpred::{CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack, TfrTable};
+use ci_bpred::{
+    ConfidenceEstimator, CorrelatedTargetBuffer, GlobalHistory, Gshare, ReturnAddressStack,
+    TfrTable,
+};
 use ci_emu::{run_trace_profiled, DynInst, EmuError, Memory};
 use ci_isa::{Addr, Inst, InstClass, Pc, Program, Reg};
 use ci_obs::{Event, NoopProbe, NoopProfiler, Probe, Profiler};
@@ -66,6 +69,10 @@ pub(crate) struct Entry {
     /// Index on the architecturally correct path, if this instruction is on
     /// it (the paper's parallel "fully-accurate window", A.3.1).
     pub oracle_idx: Option<usize>,
+    /// The prediction was high confidence at fetch, so no CI recovery
+    /// context was allocated for this branch (always false when
+    /// `conf_threshold` is 0 or for non-conditional-branch instructions).
+    pub high_conf: bool,
     // Statistics flags (Table 3 taxonomy).
     pub survived: bool,
     pub saved_done: bool,
@@ -166,6 +173,10 @@ pub struct Pipeline<'p, P: Probe = NoopProbe, F: Profiler = NoopProfiler> {
     pub(crate) cache: DataCache,
     // Predictors.
     pub(crate) gshare: Gshare,
+    /// Branch confidence estimator gating CI resource allocation; present
+    /// only when `conf_threshold > 0` so the default configuration pays
+    /// nothing and behaves bit-identically to the unguarded machine.
+    pub(crate) conf: Option<ConfidenceEstimator>,
     pub(crate) ctb: CorrelatedTargetBuffer,
     pub(crate) tfr_pc: TfrTable,
     pub(crate) tfr_xor: TfrTable,
@@ -280,6 +291,8 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
             memory: Memory::with_image(program.data()),
             cache: DataCache::new(config.cache),
             gshare: Gshare::new(config.predictor_bits),
+            conf: (config.conf_threshold > 0)
+                .then(|| ConfidenceEstimator::new(config.predictor_bits, config.conf_threshold)),
             ctb: CorrelatedTargetBuffer::new(config.predictor_bits),
             tfr_pc: TfrTable::new(config.predictor_bits),
             tfr_xor: TfrTable::new(config.predictor_bits),
@@ -525,9 +538,33 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
         );
         for (n, id) in self.rob.iter().enumerate().take(12) {
             let e = self.rob.get(id);
+            let srcs: Vec<String> = e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|s| {
+                    let producer = self.wake.producer_of(s.phys.0);
+                    format!(
+                        "p{}:ready={} producer={:?} producer_alive={}",
+                        s.phys.0,
+                        self.regs.ready(s.phys),
+                        producer,
+                        producer.is_some_and(|pid| self.rob.alive(pid)),
+                    )
+                })
+                .collect();
             eprintln!(
-                "  [{n}] {} {:?} state={:?} resolved={} exec_next={:?} pred_next={} oracle={:?}",
-                e.pc, e.inst.op, e.state, e.resolved, e.exec_next, e.pred_next, e.oracle_idx
+                "  [{n}] {} {:?} state={:?} resolved={} exec_next={:?} pred_next={} oracle={:?} survived={} high_conf={} srcs=[{}]",
+                e.pc,
+                e.inst.op,
+                e.state,
+                e.resolved,
+                e.exec_next,
+                e.pred_next,
+                e.oracle_idx,
+                e.survived,
+                e.high_conf,
+                srcs.join("; ")
             );
         }
     }
@@ -842,6 +879,16 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
         };
         self.recon.observe(pc, &inst, next);
 
+        // Confidence gating (conf_threshold > 0 only): a high-confidence
+        // conditional branch gets no CI recovery context — if it does
+        // mispredict, recovery falls back to a complete squash. Indexed by
+        // the speculative history, matching the estimator update at
+        // retirement.
+        let high_conf = match (&self.conf, class) {
+            (Some(conf), InstClass::CondBranch) => conf.high_confidence(pc, ghr_before),
+            _ => false,
+        };
+
         // Rename against the active map (the restart's own map while filling
         // a gap, the speculative tail map otherwise).
         let map = match &mut self.seq {
@@ -899,6 +946,7 @@ impl<'p, P: Probe, F: Profiler> Pipeline<'p, P, F> {
             ras_after,
             fetched_at: self.now,
             oracle_idx,
+            high_conf,
             survived: false,
             saved_done: false,
             discarded: false,

@@ -244,7 +244,17 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             let Sequencer::Restart(rs) = std::mem::replace(&mut self.seq, Sequencer::Normal) else {
                 unreachable!()
             };
-            self.squash_between(rs.branch, rs.recon);
+            // Squash the whole suffix, not just the fill: survivors beyond
+            // the reconvergent point may hold sources squashed when this
+            // restart began (or by an earlier walk this restart superseded),
+            // and their repair walk dies with the restart. Re-detection
+            // cannot be relied on to rebuild it — the re-executed branch can
+            // resolve *consistent* with the post-squash window (its target
+            // is the reconvergent point), leaving the stale sources parked
+            // on never-ready registers and wedging retirement.
+            if let Some(n) = self.rob.next(rs.branch) {
+                self.squash_suffix_from(n);
+            }
             self.unresolve(rs.branch);
             self.resume_tail_fetch();
         }
@@ -261,8 +271,13 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             out
         };
         for rs in stale {
-            if self.rob.alive(rs.branch) && self.rob.alive(rs.recon) {
-                self.squash_between(rs.branch, rs.recon);
+            // Same suffix rule as the active-restart case above: the
+            // suspension's survivors lose their pending repair walk when the
+            // restart dies, so they cannot be left in the window.
+            if self.rob.alive(rs.branch) {
+                if let Some(n) = self.rob.next(rs.branch) {
+                    self.squash_suffix_from(n);
+                }
             }
             self.unresolve(rs.branch);
         }
@@ -281,26 +296,6 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
                 self.resume_tail_fetch();
             }
         }
-    }
-
-    /// Squash all live entries strictly between `a` and `b`. Walking the
-    /// window links from `a` visits exactly the keys above it, in order, so
-    /// the cost is proportional to the victims, not the window.
-    pub(crate) fn squash_between(&mut self, a: InstId, b: InstId) {
-        let kb = self.rob.key(b);
-        let mut victims = self.take_ids();
-        let mut cur = self.rob.next(a);
-        while let Some(x) = cur {
-            if self.rob.key(x) >= kb {
-                break;
-            }
-            victims.push(x);
-            cur = self.rob.next(x);
-        }
-        for i in (0..victims.len()).rev() {
-            self.squash_one(victims[i]);
-        }
-        self.put_ids(victims);
     }
 
     /// Return the sequencer to tail fetch continuing after the current tail.
@@ -407,11 +402,15 @@ impl<P: Probe, F: Profiler> Pipeline<'_, P, F> {
             ghr.push(taken_dir);
         }
 
-        let recon_entry = if self.cfg.squash == SquashMode::ControlIndependence {
-            self.find_recon_entry(b)
-        } else {
-            None
-        };
+        // A high-confidence branch had no CI context allocated at fetch
+        // (conf_threshold gating), so its misprediction recovers with a
+        // complete squash even on the CI machine.
+        let recon_entry =
+            if self.cfg.squash == SquashMode::ControlIndependence && !self.rob.get(b).high_conf {
+                self.find_recon_entry(b)
+            } else {
+                None
+            };
 
         self.rob.get_mut(b).pred_next = rec.redirect;
         let branch_pc = self.rob.get(b).pc;

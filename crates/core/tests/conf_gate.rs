@@ -1,0 +1,81 @@
+//! Confidence-gated control independence (`conf_threshold`).
+//!
+//! Every `simulate` call here runs with the built-in oracle checker
+//! enabled, so each configuration is an end-to-end correctness check: the
+//! gate may only change *which* recovery mechanism services a
+//! misprediction, never what retires.
+
+use ci_core::{simulate, PipelineConfig};
+use ci_workloads::{random_program, Workload, WorkloadParams};
+
+fn ci_conf(window: usize, threshold: u8) -> PipelineConfig {
+    PipelineConfig {
+        conf_threshold: threshold,
+        ..PipelineConfig::ci(window)
+    }
+}
+
+#[test]
+fn gating_engages_and_preserves_architectural_results() {
+    let p = Workload::GoLike.build(&WorkloadParams {
+        scale: Workload::GoLike.scale_for(8_000),
+        seed: 0x5EED,
+    });
+    let ungated = simulate(&p, ci_conf(128, 0), 8_000).unwrap();
+    let gated = simulate(&p, ci_conf(128, 1), 8_000).unwrap();
+    // Same architectural execution (the oracle checker verified every
+    // retirement in both runs), but the aggressive gate must have diverted
+    // some recoveries from selective squash to complete squash.
+    assert_eq!(ungated.retired, gated.retired);
+    assert!(
+        gated.reconverged < ungated.reconverged,
+        "threshold 1 must gate some recoveries (reconverged {} !< {})",
+        gated.reconverged,
+        ungated.reconverged
+    );
+}
+
+#[test]
+fn every_threshold_is_architecturally_safe() {
+    // Gating changes which recovery mechanism runs (and thereby the
+    // machine's dynamics — the reconverged count is *not* monotone in the
+    // threshold), but the retired stream must match the functional trace at
+    // every setting; the built-in checker verifies each retirement.
+    let p = Workload::GccLike.build(&WorkloadParams {
+        scale: Workload::GccLike.scale_for(6_000),
+        seed: 7,
+    });
+    let reference = simulate(&p, ci_conf(128, 0), 6_000).unwrap();
+    for threshold in [15, 8, 4, 1] {
+        let r = simulate(&p, ci_conf(128, threshold), 6_000).unwrap();
+        assert_eq!(reference.retired, r.retired, "threshold {threshold}");
+    }
+}
+
+#[test]
+fn base_machine_ignores_the_threshold() {
+    let p = random_program(42, 80);
+    let plain = simulate(&p, PipelineConfig::base(64), 10_000).unwrap();
+    let with_conf = simulate(
+        &p,
+        PipelineConfig {
+            conf_threshold: 8,
+            ..PipelineConfig::base(64)
+        },
+        10_000,
+    )
+    .unwrap();
+    assert_eq!(plain, with_conf, "conf_threshold must not perturb BASE");
+}
+
+#[test]
+fn random_programs_retire_identically_under_every_threshold() {
+    for seed in [1u64, 99, 2024] {
+        let p = random_program(seed, 100);
+        let reference = simulate(&p, PipelineConfig::ci(64), 12_000).unwrap();
+        for threshold in [1u8, 4, 12] {
+            let r = simulate(&p, ci_conf(64, threshold), 12_000).unwrap();
+            assert_eq!(reference.retired, r.retired, "seed {seed} t {threshold}");
+        }
+    }
+}

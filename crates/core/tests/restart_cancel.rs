@@ -1,0 +1,53 @@
+//! Regression: cancelling an active restart must not orphan survivors.
+//!
+//! Found by the design-space explorer's `full-grid` sweep. The chain: an
+//! old branch's selective squash kills a producer; the repair walk for its
+//! survivors is superseded by a recovery for a branch behind the walk
+//! cursor; that branch's restart is then cancelled by a value reissue
+//! (`invalidate` → `cancel_restarts_of`); finally the branch re-executes
+//! and resolves *consistent* with the post-squash window, so re-detection
+//! never rebuilds the walk. The survivors sit parked on never-ready
+//! registers, the head of the window cannot issue, and retirement wedges
+//! forever ("pipeline failed to make forward progress").
+//!
+//! The exact cell that wedged: go-like at 150k instructions on the CI
+//! machine with a 128-entry window, 4-wide fetch, confidence gating at
+//! threshold 4, software postdominator reconvergence, simple preemption.
+//! The sequence needs the branch-outcome oscillation that this scale
+//! produces, so the test runs the cell as-is (a few seconds at the test
+//! profile's opt-level); the built-in oracle checker (`check`) verifies
+//! every retirement against the functional emulator along the way.
+
+use ci_core::{simulate, PipelineConfig};
+use ci_workloads::{Workload, WorkloadParams};
+
+const INSTRUCTIONS: u64 = 150_000;
+const SEED: u64 = 0x5EED;
+
+#[test]
+fn cancelled_restart_leaves_no_orphaned_survivors() {
+    let program = Workload::GoLike.build(&WorkloadParams {
+        scale: Workload::GoLike.scale_for(INSTRUCTIONS),
+        seed: SEED,
+    });
+    let config = PipelineConfig {
+        width: 4,
+        window: 128,
+        conf_threshold: 4,
+        ..PipelineConfig::ci(128)
+    };
+    let stats = simulate(&program, config, INSTRUCTIONS).expect("valid program");
+    // The budget is approximate (the trace ends at the program's halt), but
+    // the wedge struck at 62 398 retirements — anything past it proves the
+    // repair obligation survived the cancellation.
+    assert!(
+        stats.retired > 100_000,
+        "run ended early at {} retirements",
+        stats.retired
+    );
+    assert!(
+        stats.ipc() > 1.0,
+        "the wedge showed up as a collapsed IPC long before the panic (got {:.3})",
+        stats.ipc()
+    );
+}

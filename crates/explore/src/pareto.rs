@@ -1,0 +1,204 @@
+//! Pareto-front reduction and knee detection over 2-D design points.
+//!
+//! The explorer's objective convention throughout is **minimize `x`**
+//! (hardware cost, misprediction rate) and **maximize `y`** (IPC, CI
+//! benefit). A point *dominates* another when it is no worse on both axes
+//! and strictly better on at least one; the front is the set of
+//! non-dominated points. Exact coordinate duplicates of a front point are
+//! kept on the front (neither dominates the other), so every optimal
+//! *configuration* survives reduction, not just one witness per optimal
+//! coordinate pair.
+
+/// Whether `a` Pareto-dominates `b` under minimize-x / maximize-y.
+///
+/// Non-finite coordinates never dominate and are always dominated — the
+/// explorer treats a NaN measurement as "worse than everything" so it can
+/// never displace a real design point (the front itself is NaN-free).
+#[must_use]
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    if !(a.0.is_finite() && a.1.is_finite()) {
+        return false;
+    }
+    if !(b.0.is_finite() && b.1.is_finite()) {
+        return true;
+    }
+    a.0 <= b.0 && a.1 >= b.1 && (a.0 < b.0 || a.1 > b.1)
+}
+
+/// Indices of the Pareto front of `points`, in ascending-`x` order
+/// (ties broken by descending `y`, then by index).
+///
+/// Properties (pinned by the `pareto_oracle` property suite against a
+/// brute-force O(n²) oracle):
+///
+/// - no returned point is dominated by any input point;
+/// - every input point left out is dominated by some returned point,
+///   except exact duplicates of front points, which are all returned;
+/// - points with non-finite coordinates are never returned.
+#[must_use]
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
+    idx.sort_by(|&a, &b| {
+        let (pa, pb) = (points[a], points[b]);
+        pa.0.total_cmp(&pb.0)
+            .then(pb.1.total_cmp(&pa.1))
+            .then(a.cmp(&b))
+    });
+    let mut front: Vec<usize> = Vec::new();
+    let mut best_y = f64::NEG_INFINITY;
+    for &i in &idx {
+        let (x, y) = points[i];
+        if y > best_y {
+            front.push(i);
+            best_y = y;
+        } else if let Some(&last) = front.last() {
+            // Exact duplicates sort adjacent (same x, same y): keep them.
+            if points[last] == (x, y) {
+                front.push(i);
+            }
+        }
+    }
+    front
+}
+
+/// The knee of a front: the point of diminishing returns, found as the
+/// front point with the maximum perpendicular distance to the chord
+/// joining the front's endpoints after both axes are normalized to the
+/// front's extent (so the answer is scale-invariant).
+///
+/// `front` must be the output of [`pareto_front`] over `points` (ascending
+/// `x`). Returns `None` when the front has fewer than three distinct
+/// points or is degenerate (zero extent on either axis) — a line segment
+/// has no knee.
+#[must_use]
+pub fn knee(points: &[(f64, f64)], front: &[usize]) -> Option<usize> {
+    let (&first, &last) = (front.first()?, front.last()?);
+    let (x0, y0) = points[first];
+    let (x1, y1) = points[last];
+    let (dx, dy) = (x1 - x0, y1 - y0);
+    if front.len() < 3 || dx == 0.0 || dy == 0.0 {
+        return None;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for &i in &front[1..front.len() - 1] {
+        // Normalized coordinates relative to the chord's bounding box.
+        let nx = (points[i].0 - x0) / dx;
+        let ny = (points[i].1 - y0) / dy;
+        // Distance of (nx, ny) to the line through (0,0)-(1,1): the
+        // normalized chord. |nx - ny| / sqrt(2); the constant factor does
+        // not change the argmax, so it is dropped.
+        let d = (nx - ny).abs();
+        match best {
+            Some((bd, _)) if bd >= d => {}
+            _ => best = Some((d, i)),
+        }
+    }
+    best.filter(|&(d, _)| d > 0.0).map(|(_, i)| i)
+}
+
+/// Reduction statistics for one front: how much of the grid the front
+/// pruned away.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontStats {
+    /// Total points reduced.
+    pub total: usize,
+    /// Points on the front.
+    pub on_front: usize,
+    /// Points pruned as dominated (or non-finite).
+    pub dominated: usize,
+}
+
+impl FrontStats {
+    /// Stats for a front produced by [`pareto_front`] over `points`.
+    #[must_use]
+    pub fn of(points: &[(f64, f64)], front: &[usize]) -> FrontStats {
+        FrontStats {
+            total: points.len(),
+            on_front: front.len(),
+            dominated: points.len() - front.len(),
+        }
+    }
+
+    /// Fraction of the grid pruned, in `[0, 1]`.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.dominated as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates((1.0, 5.0), (2.0, 3.0)));
+        assert!(dominates((1.0, 5.0), (1.0, 3.0)));
+        assert!(dominates((1.0, 5.0), (2.0, 5.0)));
+        assert!(
+            !dominates((1.0, 5.0), (1.0, 5.0)),
+            "equal points don't dominate"
+        );
+        assert!(!dominates((1.0, 5.0), (0.5, 3.0)), "incomparable");
+        assert!(!dominates((f64::NAN, 1.0), (9.0, 0.0)));
+        assert!(dominates((1.0, 1.0), (0.0, f64::NAN)));
+    }
+
+    #[test]
+    fn front_of_staircase() {
+        //  cost → ipc; front is the lower-left-to-upper-right staircase.
+        let pts = [
+            (1.0, 1.0), // front
+            (2.0, 3.0), // front
+            (2.0, 2.0), // dominated by (2,3)
+            (3.0, 2.0), // dominated by (2,3)
+            (4.0, 5.0), // front
+            (4.0, 5.0), // duplicate: kept
+            (5.0, 4.0), // dominated by (4,5)
+        ];
+        assert_eq!(pareto_front(&pts), [0, 1, 4, 5]);
+        let stats = FrontStats::of(&pts, &pareto_front(&pts));
+        assert_eq!(stats.dominated, 3);
+        assert!((stats.pruned_fraction() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_fronts() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(1.0, 1.0)]), [0]);
+        // All-equal: every point is on the front.
+        let eq = [(2.0, 2.0); 4];
+        assert_eq!(pareto_front(&eq), [0, 1, 2, 3]);
+        // Non-finite points are pruned, never returned.
+        let pts = [(f64::NAN, 9.0), (1.0, f64::INFINITY), (1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), [2]);
+    }
+
+    #[test]
+    fn knee_finds_the_bend() {
+        // A sharp bend at (2, 9): steep gains then a plateau.
+        let pts = [(1.0, 1.0), (2.0, 9.0), (5.0, 9.5), (10.0, 10.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, [0, 1, 2, 3]);
+        assert_eq!(knee(&pts, &front), Some(1));
+    }
+
+    #[test]
+    fn knee_degenerate_cases() {
+        assert_eq!(knee(&[], &[]), None);
+        let two = [(1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(knee(&two, &pareto_front(&two)), None);
+        // Collinear front: every point sits on the chord — no knee.
+        let line = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)];
+        assert_eq!(knee(&line, &pareto_front(&line)), None);
+        // Duplicate-only front has zero extent.
+        let dup = [(2.0, 2.0); 3];
+        assert_eq!(knee(&dup, &pareto_front(&dup)), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property suite pinning the Pareto reducer against a brute-force O(n²)
+//! dominance oracle.
+//!
+//! The oracle is written here, independently of `ci_explore::pareto`, from
+//! the definition alone: a point is on the front iff no other point
+//! dominates it (no worse on both axes, strictly better on one). Small
+//! integer coordinate grids force heavy tie/duplicate traffic, which is
+//! where sweep-based reducers typically go wrong.
+
+use ci_explore::{dominates, knee, pareto_front};
+use proptest::prelude::*;
+
+/// Independent restatement of dominance (minimize x, maximize y) — kept
+/// deliberately separate from the implementation under test.
+fn oracle_dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    let better_or_equal = a.0 <= b.0 && a.1 >= b.1;
+    let strictly_better = a.0 < b.0 || a.1 > b.1;
+    better_or_equal && strictly_better
+}
+
+/// Brute-force O(n²) front: every finite point not dominated by any other
+/// point.
+fn oracle_front(points: &[(f64, f64)]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, &p)| {
+                j != i && p.0.is_finite() && p.1.is_finite() && oracle_dominates(p, points[i])
+            })
+        })
+        .collect()
+}
+
+fn to_f64(grid: Vec<(u32, u32)>) -> Vec<(f64, f64)> {
+    grid.into_iter()
+        .map(|(x, y)| (f64::from(x), f64::from(y)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512 })]
+
+    #[test]
+    fn front_matches_the_oracle_exactly(
+        grid in prop::collection::vec((0u32..10, 0u32..10), 0..48),
+    ) {
+        // Coordinates drawn from a 10×10 grid: with up to 48 points,
+        // duplicates and axis ties are the common case, not the corner.
+        let points = to_f64(grid);
+        let mut front = pareto_front(&points);
+        front.sort_unstable();
+        prop_assert_eq!(front, oracle_front(&points));
+    }
+
+    #[test]
+    fn no_front_point_is_dominated(
+        grid in prop::collection::vec((0u32..50, 0u32..50), 1..64),
+    ) {
+        let points = to_f64(grid);
+        let front = pareto_front(&points);
+        for &i in &front {
+            for (j, &p) in points.iter().enumerate() {
+                prop_assert!(
+                    j == i || !oracle_dominates(p, points[i]),
+                    "front point {i} {:?} is dominated by {j} {:?}",
+                    points[i],
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated_by_a_front_point(
+        grid in prop::collection::vec((0u32..12, 0u32..12), 1..48),
+    ) {
+        let points = to_f64(grid);
+        let front = pareto_front(&points);
+        for i in 0..points.len() {
+            if front.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                front.iter().any(|&f| oracle_dominates(points[f], points[i])),
+                "non-front point {i} {:?} has no dominating front witness",
+                points[i]
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_points_never_reach_the_front(
+        grid in prop::collection::vec((0u32..8, 0u32..8, 0u32..5), 1..32),
+    ) {
+        // Every fifth-ish point is poisoned with a NaN or infinity; the
+        // front must stay NaN-free and match the oracle over the rest.
+        let points: Vec<(f64, f64)> = grid
+            .into_iter()
+            .map(|(x, y, poison)| match poison {
+                0 => (f64::NAN, f64::from(y)),
+                1 => (f64::from(x), f64::INFINITY),
+                _ => (f64::from(x), f64::from(y)),
+            })
+            .collect();
+        let mut front = pareto_front(&points);
+        for &i in &front {
+            prop_assert!(points[i].0.is_finite() && points[i].1.is_finite());
+        }
+        front.sort_unstable();
+        prop_assert_eq!(front, oracle_front(&points));
+    }
+
+    #[test]
+    fn implementation_dominance_agrees_with_the_oracle(
+        a in (0u32..6, 0u32..6),
+        b in (0u32..6, 0u32..6),
+    ) {
+        let (a, b) = (
+            (f64::from(a.0), f64::from(a.1)),
+            (f64::from(b.0), f64::from(b.1)),
+        );
+        prop_assert_eq!(dominates(a, b), oracle_dominates(a, b));
+        // Antisymmetry on distinct comparable points.
+        prop_assert!(!(dominates(a, b) && dominates(b, a)));
+    }
+
+    #[test]
+    fn knee_lies_strictly_inside_the_front(
+        grid in prop::collection::vec((0u32..40, 0u32..40), 3..40),
+    ) {
+        let points = to_f64(grid);
+        let front = pareto_front(&points);
+        if let Some(k) = knee(&points, &front) {
+            prop_assert!(front.contains(&k), "knee {k} must be a front point");
+            prop_assert!(
+                front.first() != Some(&k) && front.last() != Some(&k),
+                "knee {k} must not be a chord endpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_match_the_oracle() {
+    for points in [
+        vec![],
+        vec![(3.0, 3.0)],
+        vec![(1.0, 1.0); 5],                      // all equal
+        vec![(1.0, 9.0), (1.0, 9.0), (2.0, 1.0)], // duplicate optimum
+        vec![(f64::NAN, f64::NAN)],
+        vec![(0.0, 0.0), (0.0, 1.0), (1.0, 0.0)], // axis-aligned ties
+    ] {
+        let mut front = pareto_front(&points);
+        front.sort_unstable();
+        assert_eq!(front, oracle_front(&points), "points {points:?}");
+    }
+}

@@ -5,7 +5,7 @@
 use crate::cell::{fnv1a, CellOutput, CellSpec, SharedInputs};
 use crate::fault::FaultPlan;
 use crate::memo::Memo;
-use crate::metrics::{CellReport, PoolReport, RunMetrics};
+use crate::metrics::{CellReport, PoolReport, RunMetrics, SweepSummary};
 use crate::persist::{output_from_json, output_to_json, quarantine_cache_file};
 use crate::pool::{run_batch, run_batch_catching, PoolStats};
 use ci_core::{PipelineConfig, Stats};
@@ -110,6 +110,9 @@ pub struct Engine {
     faults: Option<Arc<FaultPlan>>,
     /// Cache files quarantined because they contained corrupt lines.
     quarantined: Mutex<Vec<PathBuf>>,
+    /// The design-space sweep this run executed, if the caller noted one
+    /// (surfaces in [`RunMetrics`]).
+    sweep: Mutex<Option<SweepSummary>>,
 }
 
 impl Engine {
@@ -134,6 +137,7 @@ impl Engine {
             loaded: AtomicU64::new(0),
             faults: opts.faults,
             quarantined: Mutex::new(Vec::new()),
+            sweep: Mutex::new(None),
         };
         if let Some(dir) = e.cache_dir.clone() {
             e.load_cache(&dir.join(CACHE_FILE));
@@ -196,6 +200,12 @@ impl Engine {
     #[must_use]
     pub fn quarantined_files(&self) -> Vec<PathBuf> {
         self.quarantined.lock().unwrap().clone()
+    }
+
+    /// Record the shape of the design-space sweep this run executes, so it
+    /// surfaces in [`Engine::run_metrics`]. The last note wins.
+    pub fn note_sweep(&self, summary: SweepSummary) {
+        *self.sweep.lock().unwrap() = Some(summary);
     }
 
     /// The active fault-injection plan, if any.
@@ -482,6 +492,7 @@ impl Engine {
             compute_wall_us,
             cells,
             pool: timing.pool.clone(),
+            sweep: self.sweep.lock().unwrap().clone(),
         }
     }
 

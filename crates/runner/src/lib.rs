@@ -40,5 +40,5 @@ pub use cell::{fnv1a, CellKey, CellOutput, CellSpec, SharedInputs};
 pub use engine::{Engine, EngineOptions, CACHE_FILE};
 pub use fault::{FaultPlan, FaultSite, INJECTED_PANIC};
 pub use memo::Memo;
-pub use metrics::{CellReport, PoolReport, RunMetrics};
+pub use metrics::{CellReport, PoolReport, RunMetrics, SweepSummary};
 pub use pool::PoolStats;

@@ -30,6 +30,35 @@ pub struct CellReport {
     pub disposition: &'static str,
 }
 
+/// Shape of the design-space sweep a run executed (attached by the
+/// explorer via [`Engine::note_sweep`](crate::Engine::note_sweep), absent
+/// for ordinary table/figure runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Canonical sweep text.
+    pub spec: String,
+    /// Distinct grid configurations after normalization.
+    pub configs: u64,
+    /// Distinct simulation cells (configs × workloads).
+    pub cells: u64,
+    /// Workloads swept.
+    pub workloads: u64,
+}
+
+impl SweepSummary {
+    /// The summary as a JSON object (nested under `"sweep"` in
+    /// `run_metrics/v1`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("spec", JsonValue::Str(self.spec.clone())),
+            ("configs", self.configs.into()),
+            ("cells", self.cells.into()),
+            ("workloads", self.workloads.into()),
+        ])
+    }
+}
+
 /// Scheduling statistics of the engine's work-stealing pool, summed over
 /// every prefetch batch of the run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -68,6 +97,8 @@ pub struct RunMetrics {
     pub cells: Vec<CellReport>,
     /// Pool scheduling statistics.
     pub pool: PoolReport,
+    /// The design-space sweep this run executed, if it was an explorer run.
+    pub sweep: Option<SweepSummary>,
 }
 
 impl RunMetrics {
@@ -105,6 +136,12 @@ impl RunMetrics {
         JsonValue::obj([
             ("schema", JsonValue::from("run_metrics/v1")),
             ("binary", JsonValue::Str(self.binary.clone())),
+            (
+                "sweep",
+                self.sweep
+                    .as_ref()
+                    .map_or(JsonValue::Null, SweepSummary::to_json),
+            ),
             ("workers", self.workers.into()),
             ("cells_computed", self.cells_computed.into()),
             ("memo_hits", self.memo_hits.into()),
@@ -197,6 +234,7 @@ mod tests {
                     panicked: 0,
                 },
             },
+            sweep: None,
         }
     }
 
@@ -234,8 +272,25 @@ mod tests {
             compute_wall_us: 0,
             cells: Vec::new(),
             pool: PoolReport::default(),
+            sweep: None,
         };
         assert_eq!(m.hit_rate(), 0.0);
         assert!(ci_obs::json::parse(&m.to_json().render()).is_ok());
+    }
+
+    #[test]
+    fn sweep_summary_round_trips() {
+        let mut m = sample();
+        assert!(m.to_json().get("sweep").unwrap().as_str().is_none());
+        m.sweep = Some(SweepSummary {
+            spec: "machine=base,ci window=64".into(),
+            configs: 12,
+            cells: 60,
+            workloads: 5,
+        });
+        let v = ci_obs::json::parse(&m.to_json().render()).unwrap();
+        let s = v.get("sweep").unwrap();
+        assert_eq!(s.get("configs").unwrap().as_i64(), Some(12));
+        assert_eq!(s.get("cells").unwrap().as_i64(), Some(60));
     }
 }

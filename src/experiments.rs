@@ -873,7 +873,7 @@ pub fn all_experiment_cells(scale: &Scale) -> Vec<CellSpec> {
 /// Every table/figure name accepted by [`request_cells`], in publication
 /// order, plus the `"all"` union. These are the request names understood by
 /// the `ci-serve` daemon's `table` requests.
-pub const REQUEST_NAMES: [&str; 16] = [
+pub const REQUEST_NAMES: [&str; 17] = [
     "table1",
     "figure3",
     "figure5_6",
@@ -890,6 +890,7 @@ pub const REQUEST_NAMES: [&str; 16] = [
     "distributions",
     "all",
     "smoke",
+    "explore_smoke",
 ];
 
 /// The cells behind a named table or figure, for callers (like the
@@ -920,6 +921,12 @@ pub fn request_cells(name: &str, scale: &Scale) -> Option<Vec<CellSpec>> {
             instructions: scale.instructions.min(2_000),
             seed: scale.seed,
         }],
+        // The explorer's smoke grid (3 windows × 3 widths × BASE/CI),
+        // capped at 10k instructions — the same grid the golden test and
+        // the CI `explore` job run.
+        "explore_smoke" => ci_explore::Sweep::parse("smoke-grid")
+            .expect("smoke-grid preset must parse")
+            .expand(scale.instructions.min(10_000), scale.seed),
         _ => return None,
     })
 }

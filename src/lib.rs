@@ -35,6 +35,7 @@ pub use ci_bpred;
 pub use ci_cfg;
 pub use ci_core;
 pub use ci_emu;
+pub use ci_explore;
 pub use ci_ideal;
 pub use ci_isa;
 pub use ci_obs;

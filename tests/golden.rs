@@ -11,6 +11,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden
 //! ```
 
+use control_independence::ci_explore::{ExploreReport, Sweep};
 use control_independence::experiments::{figure8, table1, table2, table3, table4, Scale};
 use control_independence::prelude::Engine;
 use std::path::PathBuf;
@@ -59,4 +60,19 @@ fn table4_text_is_pinned() {
 #[test]
 fn figure8_text_is_pinned() {
     check_golden("figure8.txt", &figure8(&Engine::serial(), &SCALE).render());
+}
+
+#[test]
+fn explore_smoke_grid_is_pinned() {
+    // The explorer's 3 (windows) × 3 (widths) × 2 (machines) smoke grid
+    // over all five workloads: pins the sweep expansion, the grid's cell
+    // results, and the Pareto/knee reduction in one artifact.
+    let sweep = Sweep::parse("smoke-grid").expect("smoke-grid preset must parse");
+    let report = ExploreReport::build(&Engine::serial(), &sweep, SCALE.instructions, SCALE.seed);
+    let mut text = String::new();
+    for table in report.tables() {
+        text.push_str(&table.render());
+        text.push('\n');
+    }
+    check_golden("explore.txt", &text);
 }
